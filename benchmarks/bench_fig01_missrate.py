@@ -1,0 +1,61 @@
+"""Figure 1 — cache miss-rate analysis.
+
+Paper: (left) the 12 benchmarks average 49.09 % LLC-to-memory miss rate,
+SG and HPCG above 50 %; (right) sequential ``A[i]=B[i]`` stays <= 2.36 %
+while random ``A[i]=B[C[i]]`` grows from 3.12 % to 63.85 % as the
+dataset sweeps 80 KB -> 32 GB.
+"""
+
+import statistics
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table, pct
+
+from conftest import attach, run_figure
+
+
+def test_fig1_left_benchmark_missrates(benchmark):
+    rates = run_figure(
+        benchmark, lambda: E.fig1_benchmark_missrates(), "Fig. 1 (left)"
+    )
+    avg = statistics.mean(rates.values())
+    print()
+    print(
+        format_table(
+            ["benchmark", "miss rate"],
+            [[k, pct(v)] for k, v in rates.items()],
+            title="Fig. 1 (left): miss rate per benchmark (paper avg 49.09%)",
+        )
+    )
+    print(f"measured average: {pct(avg)}")
+    attach(benchmark, measured_avg=avg, paper_avg=0.4909)
+    assert 0.15 < avg < 0.75
+    # SG tops the chart, as in the paper.
+    assert rates["SG"] == max(rates.values())
+
+
+def test_fig1_right_seq_vs_random(benchmark):
+    sweep = run_figure(benchmark, lambda: E.fig1_seq_vs_random(), "Fig. 1 (right)")
+    rows = [
+        [f"{size:,}", pct(seq), pct(rnd)] for size, (seq, rnd) in sweep.items()
+    ]
+    print()
+    print(
+        format_table(
+            ["dataset (B)", "sequential", "random"],
+            rows,
+            title="Fig. 1 (right): seq vs random miss rate "
+            "(paper: seq <= 2.36%, random 3.12% -> 63.85%)",
+        )
+    )
+    seqs = [s for s, _ in sweep.values()]
+    rands = [r for _, r in sweep.values()]
+    attach(
+        benchmark,
+        seq_final=seqs[-1],
+        random_first=rands[0],
+        random_final=rands[-1],
+        paper_random_final=0.6385,
+    )
+    assert max(seqs) < 0.05
+    assert rands[-1] > 5 * rands[0]

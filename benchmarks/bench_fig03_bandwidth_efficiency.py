@@ -1,0 +1,30 @@
+"""Figure 3 — analytic bandwidth efficiency/overhead vs request size.
+
+Paper: efficiency climbs 33.33 % -> 88.89 % and overhead falls 66.66 %
+-> 11.11 % as the request grows 16 B -> 256 B (a 2.67x improvement).
+"""
+
+import pytest
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table, pct
+
+from conftest import attach, run_figure
+
+
+def test_fig3_bandwidth_efficiency(benchmark):
+    table = run_figure(benchmark, E.fig3_bandwidth_efficiency, "Fig. 3")
+    print()
+    print(
+        format_table(
+            ["request size (B)", "efficiency", "overhead"],
+            [[s, pct(e), pct(o)] for s, (e, o) in sorted(table.items())],
+            title="Fig. 3: bandwidth efficiency vs request size",
+        )
+    )
+    eff16, _ = table[16]
+    eff256, _ = table[256]
+    attach(benchmark, eff_16B=eff16, eff_256B=eff256, improvement=eff256 / eff16)
+    assert eff16 == pytest.approx(1 / 3)
+    assert eff256 == pytest.approx(8 / 9)
+    assert eff256 / eff16 == pytest.approx(2.67, abs=0.01)

@@ -1,0 +1,50 @@
+"""Figure 10 — coalescing efficiency per benchmark at 2/4/8 threads.
+
+Paper: suite averages 48.37 / 50.51 / 52.86 % at 2/4/8 threads; above
+60 % for MG, GRAPPOLO, SG, SP and SPARSELU at 8 threads.
+
+Known deviation (see EXPERIMENTS.md): the paper reports a mildly
+*increasing* thread trend, our window-contention model yields a mildly
+*decreasing* one; the 8-thread per-benchmark levels and ordering match.
+"""
+
+import statistics
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table, pct
+
+from conftest import attach, run_figure
+
+PAPER_AVG = {2: 0.4837, 4: 0.5051, 8: 0.5286}
+PAPER_WINNERS = ("MG", "GRAPPOLO", "SG", "SP", "SPARSELU")
+
+
+def test_fig10_coalescing_efficiency(benchmark):
+    table = run_figure(
+        benchmark, lambda: E.fig10_coalescing_efficiency(), "Fig. 10"
+    )
+    names = list(table[8])
+    rows = [[n] + [pct(table[t][n]) for t in (2, 4, 8)] for n in names]
+    print()
+    print(
+        format_table(
+            ["benchmark", "2 threads", "4 threads", "8 threads"],
+            rows,
+            title="Fig. 10: coalescing efficiency "
+            "(paper avgs 48.37/50.51/52.86%)",
+        )
+    )
+    avgs = {t: statistics.mean(table[t].values()) for t in (2, 4, 8)}
+    print("measured averages:", {t: pct(v) for t, v in avgs.items()})
+    attach(
+        benchmark,
+        avg_2t=avgs[2],
+        avg_4t=avgs[4],
+        avg_8t=avgs[8],
+        paper_avg_8t=PAPER_AVG[8],
+    )
+    # Headline: the 8-thread suite average lands near the paper's 52.86 %.
+    assert abs(avgs[8] - PAPER_AVG[8]) < 0.06
+    # The paper's five named winners clear 60 %.
+    for name in PAPER_WINNERS:
+        assert table[8][name] > 0.60, name

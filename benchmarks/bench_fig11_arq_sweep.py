@@ -1,0 +1,42 @@
+"""Figure 11 — impact of ARQ entry count on coalescing efficiency.
+
+Paper: suite-average efficiency climbs 37.58 % -> 56.04 % as entries go
+8 -> 256, with diminishing relative gains of +22.11 / +15.72 / +5.53 %
+at 16 / 32 / 64 entries — making 32 the sweet spot the paper picks.
+"""
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table, pct
+
+from conftest import attach, run_figure
+
+
+def test_fig11_arq_sweep(benchmark):
+    sweep = run_figure(benchmark, lambda: E.fig11_arq_sweep(), "Fig. 11")
+    entries = sorted(sweep)
+    print()
+    print(
+        format_table(
+            ["ARQ entries", "avg efficiency"],
+            [[n, pct(sweep[n])] for n in entries],
+            title="Fig. 11: ARQ sweep (paper 37.58% -> 56.04%)",
+        )
+    )
+    gains = {
+        b: sweep[b] / sweep[a] - 1 for a, b in zip(entries, entries[1:])
+    }
+    print("relative gains:", {k: pct(v) for k, v in gains.items()})
+    attach(
+        benchmark,
+        eff_8=sweep[8],
+        eff_32=sweep[32],
+        eff_256=sweep[256],
+        paper_eff_8=0.3758,
+        paper_eff_256=0.5604,
+    )
+    # Monotone growth from the paper's starting level...
+    assert abs(sweep[8] - 0.3758) < 0.08
+    for a, b in zip(entries, entries[1:]):
+        assert sweep[b] > sweep[a]
+    # ...with diminishing returns: 8->16 gains more than 32->64.
+    assert gains[16] > gains[64]

@@ -1,0 +1,36 @@
+"""Figure 16 — MAC space overhead vs ARQ entry count.
+
+Paper: the ARQ grows 512 B -> 16 KB over 8 -> 256 entries; the full
+32-entry MAC occupies 2062 B of storage plus 32 comparators and 4 OR
+gates — comparable to a 32-line fully associative cache.
+"""
+
+import pytest
+
+from repro.core.config import MACConfig
+from repro.eval import experiments as E
+from repro.eval.area import mac_area
+from repro.eval.report import format_table, human_bytes
+
+from conftest import attach, run_figure
+
+
+def test_fig16_space_overhead(benchmark):
+    table = run_figure(benchmark, lambda: E.fig16_space_overhead(), "Fig. 16")
+    print()
+    print(
+        format_table(
+            ["ARQ entries", "ARQ bytes"],
+            [[n, human_bytes(b)] for n, b in sorted(table.items())],
+            title="Fig. 16: ARQ storage (paper 512 B -> 16 KB)",
+        )
+    )
+    report = mac_area(MACConfig())
+    print(
+        f"total MAC @32 entries: {report.total_bytes} B, "
+        f"{report.comparators} comparators, {report.or_gates} OR gates"
+    )
+    attach(benchmark, total_bytes=report.total_bytes, paper_total=2062)
+    assert table[8] == 512
+    assert table[256] == 16 << 10
+    assert report.total_bytes == 2062

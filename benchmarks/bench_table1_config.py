@@ -1,0 +1,37 @@
+"""Table 1 — simulation-environment configuration validation.
+
+Checks that the library's default configuration realizes the paper's
+simulated system, including the 93 ns average HMC access latency, which
+is a *derived* property of the device timing model.
+"""
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table
+from repro.hmc.device import HMCDevice
+
+from conftest import attach, run_figure
+
+
+def test_table1_configuration(benchmark):
+    cfg = run_figure(benchmark, E.table1_config, "Table 1")
+    print()
+    print(
+        format_table(
+            ["parameter", "value"],
+            [[k, v] for k, v in cfg.items()],
+            title="Table 1: simulation environment",
+        )
+    )
+    dev = HMCDevice()
+    lat_ns = dev.unloaded_read_latency(16) / cfg["cpu_freq_ghz"]
+    print(f"unloaded HMC read latency: {lat_ns:.1f} ns (paper: 93 ns)")
+    attach(benchmark, hmc_latency_ns=lat_ns, paper_latency_ns=93)
+    assert cfg["cores"] == 8
+    assert cfg["cpu_freq_ghz"] == 3.3
+    assert cfg["spm_bytes_per_core"] == 1 << 20
+    assert cfg["hmc_links"] == 4
+    assert cfg["hmc_capacity_gb"] == 8
+    assert cfg["hmc_row_bytes"] == 256
+    assert cfg["arq_entries"] == 32
+    assert cfg["arq_entry_bytes"] == 64
+    assert abs(lat_ns - 93) < 5

@@ -1,0 +1,27 @@
+"""Shared helpers for the per-figure benchmark harness.
+
+Every bench runs its experiment exactly once under pytest-benchmark
+(``pedantic(rounds=1)``): the measured quantity of interest is the
+figure's *result*, not Python's runtime, so the timing is informative
+only.  Results are attached as ``extra_info`` (visible in
+``--benchmark-verbose``/JSON output) and printed (visible with ``-s``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict
+
+
+def run_figure(benchmark, fn: Callable[[], Any], title: str) -> Any:
+    """Execute a figure driver once under the benchmark fixture."""
+    result = benchmark.pedantic(fn, rounds=1, iterations=1)
+    benchmark.extra_info["figure"] = title
+    return result
+
+
+def attach(benchmark, **values) -> None:
+    """Record paper-vs-measured values in the benchmark report."""
+    for key, value in values.items():
+        if isinstance(value, float):
+            value = round(value, 4)
+        benchmark.extra_info[key] = value

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""HMC vs HBM behind the same MAC (the paper's section 4.3 claim).
+
+Runs identical benchmark traffic through the MAC parameterized for each
+stack's geometry (256 B vs 1 KB rows), then replays the coalesced
+streams on the corresponding device models and compares activations,
+conflicts and latency percentiles.
+
+Run:  python examples/hbm_vs_hmc.py
+"""
+
+from repro.core import MACConfig, MACStats, coalesce_trace_fast
+from repro.eval.report import bar_chart, pct
+from repro.hbm import HBMDevice
+from repro.hmc import HMCDevice
+from repro.trace import to_requests
+from repro.workloads import make
+
+WORKLOADS = ("MG", "BFS", "IS")
+
+
+def coalesce_for(row_bytes: int, requests):
+    cfg = MACConfig(row_bytes=row_bytes, max_request_bytes=row_bytes)
+    stats = MACStats()
+    packets = coalesce_trace_fast(list(requests), cfg, stats=stats)
+    return packets, stats
+
+
+def main() -> None:
+    print(f"{'':10s}{'HMC (256 B rows)':>24s}{'HBM (1 KB rows)':>24s}")
+    print(f"{'workload':10s}{'eff':>8s}{'conf':>8s}{'p99':>8s}"
+          f"{'eff':>8s}{'conf':>8s}{'p99':>8s}")
+    effs_hmc, effs_hbm = {}, {}
+    for name in WORKLOADS:
+        trace = make(name).generate(threads=8, ops_per_thread=1200)
+
+        pkts, st = coalesce_for(256, to_requests(trace))
+        hmc = HMCDevice()
+        for i, p in enumerate(pkts):
+            hmc.submit(p, 2 * i)
+        effs_hmc[name] = st.coalescing_efficiency
+        hmc_row = (
+            f"{st.coalescing_efficiency:>7.1%}{hmc.bank_conflicts:>8d}"
+            f"{hmc.stats.p99_latency:>8.0f}"
+        )
+
+        pkts, st = coalesce_for(1024, to_requests(trace))
+        hbm = HBMDevice()
+        t = 0
+        for p in pkts:
+            hbm.submit(p, t)
+            t += 2
+        effs_hbm[name] = st.coalescing_efficiency
+        hbm_row = f"{st.coalescing_efficiency:>7.1%}{hbm.bank_conflicts:>8d}{'-':>8s}"
+
+        print(f"{name:10s}{hmc_row}{hbm_row}")
+
+    print()
+    print(bar_chart(effs_hmc, width=40, fmt=pct,
+                    title="coalescing efficiency on HMC (256 B rows)"))
+    print()
+    print(bar_chart(effs_hbm, width=40, fmt=pct,
+                    title="coalescing efficiency on HBM (1 KB rows)"))
+    print()
+    print("Same coalescer, wider FLIT map: the 1 KB HBM row exposes more")
+    print("mergeable locality per entry (section 4.3), at the cost of")
+    print("longer burst trains per transaction.")
+
+
+if __name__ == "__main__":
+    main()

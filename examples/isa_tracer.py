@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""End-to-end from assembly: write a kernel, execute it, coalesce it.
+
+The paper's methodology starts from real programs on a modified RISC-V
+Spike (section 5.1).  This example does the same in miniature: a gather
+kernel written in the bundled mini ISA is executed on 4 harts, its
+memory trace falls out of the tracer, and the trace runs through the
+MAC and the HMC device — assembly to bank conflicts in one script.
+
+Run:  python examples/isa_tracer.py
+"""
+
+from repro.baselines import dispatch_raw
+from repro.core import MACConfig, MACStats, coalesce_trace_fast
+from repro.hmc import HMCDevice
+from repro.isa import run_program
+from repro.trace import summarize, to_requests
+
+# Each hart scans its own chunk of idx[] and gathers from a shared
+# table: idx loads stream, gathers scatter — the paper's SG pattern.
+KERNEL = """
+    # a0=&idx  a1=&table  a2=&dst  a3=start  a4=end
+    mv    t0, a3
+loop:
+    bge   t0, a4, done
+    slli  t1, t0, 3
+    add   t2, a0, t1
+    ld    t3, 0(t2)          # idx[i]
+    slli  t3, t3, 3
+    add   t4, a1, t3
+    ld    t5, 0(t4)          # table[idx[i]]
+    add   t6, a2, t1
+    sd    t5, 0(t6)          # dst[i]
+    addi  t0, t0, 1
+    j     loop
+done:
+    halt
+"""
+
+IDX, TABLE, DST = 0x10000, 0x200000, 0x20000
+COUNT, TABLE_WORDS, HARTS = 256, 1 << 13, 4
+
+
+def main() -> None:
+    import random
+
+    rng = random.Random(3)
+    indices = [rng.randrange(TABLE_WORDS) for _ in range(COUNT)]
+    chunk = COUNT // HARTS
+
+    machine = run_program(
+        KERNEL,
+        harts=HARTS,
+        data={
+            IDX: indices,
+            TABLE: [v * 11 for v in range(TABLE_WORDS)],
+        },
+        init_regs={
+            h: {10: IDX, 11: TABLE, 12: DST, 13: h * chunk, 14: (h + 1) * chunk}
+            for h in range(HARTS)
+        },
+    )
+
+    # Functional check: the program really gathered.
+    assert all(machine.peek(DST + 8 * i) == indices[i] * 11 for i in range(COUNT))
+    print(f"executed {machine.retired} instructions on {HARTS} harts; "
+          f"gather verified correct")
+
+    summary = summarize(machine.trace)
+    print(f"trace: {summary.memory_operations} memory ops "
+          f"({summary.loads} loads / {summary.stores} stores)")
+
+    stats = MACStats()
+    packets = coalesce_trace_fast(
+        list(to_requests(machine.trace)), MACConfig(), stats=stats
+    )
+    print(f"MAC: {stats.memory_raw_requests} raw -> {len(packets)} packets "
+          f"({stats.coalescing_efficiency:.1%} efficiency)")
+
+    mac_dev, raw_dev = HMCDevice(), HMCDevice()
+    for i, pkt in enumerate(packets):
+        mac_dev.submit(pkt, 2 * i)
+    for i, pkt in enumerate(dispatch_raw(list(to_requests(machine.trace)))):
+        raw_dev.submit(pkt, i)
+    print(f"bank conflicts: {mac_dev.bank_conflicts} with MAC "
+          f"vs {raw_dev.bank_conflicts} raw")
+    print(f"wire traffic:   {mac_dev.stats.wire_bytes:,} B with MAC "
+          f"vs {raw_dev.stats.wire_bytes:,} B raw")
+
+
+if __name__ == "__main__":
+    main()

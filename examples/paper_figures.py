@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Regenerate every table and figure of the paper's evaluation.
+
+Runs all experiment drivers at their default (bench) scale and prints
+the paper-vs-measured summary.  Expect a few minutes of runtime; for
+quick smoke runs pass ``--fast``.
+
+Run:  python examples/paper_figures.py [--fast]
+"""
+
+import statistics
+import sys
+
+from repro.eval import experiments as E
+from repro.eval.report import format_table, human_bytes, pct
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    kw = dict(threads=2, ops_per_thread=600) if fast else {}
+
+    print("=" * 70)
+    print("Table 1 — configuration")
+    for k, v in E.table1_config().items():
+        print(f"  {k}: {v}")
+
+    print("=" * 70)
+    print("Figure 1 — cache miss rates")
+    mr = E.fig1_benchmark_missrates(**({"threads": 2, "ops_per_thread": 600} if fast else {}))
+    print(format_table(["benchmark", "miss rate"], [[k, pct(v)] for k, v in mr.items()]))
+    print(f"  average {pct(statistics.mean(mr.values()))} (paper 49.09%)")
+    sweep = E.fig1_seq_vs_random(accesses=6000 if fast else 60000)
+    first, last = list(sweep.values())[0], list(sweep.values())[-1]
+    print(f"  seq {pct(first[0])} -> {pct(last[0])} (paper <= 2.36%)")
+    print(f"  rnd {pct(first[1])} -> {pct(last[1])} (paper 3.12% -> 63.85%)")
+
+    print("=" * 70)
+    print("Figure 3 — bandwidth efficiency vs request size")
+    for size, (eff, ovh) in E.fig3_bandwidth_efficiency().items():
+        print(f"  {size:>4d} B: eff {pct(eff)}, overhead {pct(ovh)}")
+
+    print("=" * 70)
+    print("Figure 9 — requests per cycle (Eq. 2)")
+    rpc = E.fig9_requests_per_cycle()
+    print(format_table(["benchmark", "RPC"], [[k, round(v, 2)] for k, v in rpc.items()]))
+    print(f"  average {statistics.mean(rpc.values()):.2f} (paper ~9.32, all > 2)")
+
+    print("=" * 70)
+    print("Figure 10 — coalescing efficiency (2/4/8 threads)")
+    f10 = E.fig10_coalescing_efficiency(total_ops=4800 if fast else 24000)
+    names = list(f10[8])
+    print(
+        format_table(
+            ["benchmark", "2t", "4t", "8t"],
+            [[n, pct(f10[2][n]), pct(f10[4][n]), pct(f10[8][n])] for n in names],
+        )
+    )
+    for t in (2, 4, 8):
+        print(f"  avg @{t} threads: {pct(statistics.mean(f10[t].values()))}")
+    print("  (paper: 48.37 / 50.51 / 52.86%)")
+
+    print("=" * 70)
+    print("Figure 11 — ARQ sweep")
+    for n, eff in E.fig11_arq_sweep(**kw).items():
+        print(f"  {n:>4d} entries: {pct(eff)}")
+    print("  (paper: 37.58% at 8 -> 56.04% at 256)")
+
+    print("=" * 70)
+    print("Figure 12 — bank conflicts (without -> with MAC)")
+    for name, (raw, mac) in E.fig12_bank_conflicts(**kw).items():
+        print(f"  {name:10s} {raw:>8,d} -> {mac:>8,d}  (-{1 - mac / max(raw, 1):.0%})")
+
+    print("=" * 70)
+    print("Figure 13 — bandwidth efficiency of coalesced traffic")
+    f13 = E.fig13_bandwidth_efficiency(**kw)
+    for name, eff in f13.items():
+        print(f"  {name:10s} {pct(eff)} (raw: 33.33%)")
+    print(f"  average {pct(statistics.mean(f13.values()))} (paper 70.35%)")
+
+    print("=" * 70)
+    print("Figure 14 — control bandwidth saved")
+    for name, row in E.fig14_bandwidth_saving(**kw).items():
+        print(
+            f"  {name:10s} {human_bytes(row['saved_bytes']):>12s} "
+            f"({row['saved_bytes_per_request']:.1f} B/request)"
+        )
+    print("  (paper: avg 22.76 GB at ~1e9-request scale)")
+
+    print("=" * 70)
+    print("Figure 15 — targets per ARQ entry")
+    f15 = E.fig15_targets_per_entry(**kw)
+    for name, (avg, peak) in f15.items():
+        print(f"  {name:10s} avg {avg:.2f}, max {peak} (limit 12)")
+    print(f"  suite avg {statistics.mean(a for a, _ in f15.values()):.2f} (paper 2.13)")
+
+    print("=" * 70)
+    print("Figure 16 — space overhead")
+    for n, b in E.fig16_space_overhead().items():
+        print(f"  {n:>4d} entries: {human_bytes(b)}")
+
+    print("=" * 70)
+    print("Figure 17 — memory-system speedup")
+    f17 = E.fig17_speedup(**kw)
+    for name, row in f17.items():
+        print(
+            f"  {name:10s} makespan {row['makespan_speedup']:+.1%}, "
+            f"latency {row['latency_speedup']:+.1%}"
+        )
+    mk = statistics.mean(r["makespan_speedup"] for r in f17.values())
+    lat = statistics.mean(r["latency_speedup"] for r in f17.values())
+    print(f"  averages: makespan {pct(mk)}, latency {pct(lat)} (paper 60.73%)")
+
+
+if __name__ == "__main__":
+    main()

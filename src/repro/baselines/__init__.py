@@ -1,0 +1,7 @@
+"""Comparator dispatch policies (paper sections 2.3 and 5.3)."""
+
+from .direct import dispatch_raw
+from .fixed import dispatch_fixed, useful_data_fraction
+from .mshr_coalescer import dispatch_mshr
+
+__all__ = ["dispatch_fixed", "dispatch_mshr", "dispatch_raw", "useful_data_fraction"]

@@ -1,0 +1,15 @@
+"""Cache substrate for the motivation study and MSHR baseline (Fig. 1, section 2.3)."""
+
+from .cache import CacheStats, SetAssociativeCache
+from .hierarchy import CacheHierarchy, HierarchyStats
+from .mshr import MSHREntry, MSHRFile, MSHRStats
+
+__all__ = [
+    "CacheHierarchy",
+    "CacheStats",
+    "HierarchyStats",
+    "MSHREntry",
+    "MSHRFile",
+    "MSHRStats",
+    "SetAssociativeCache",
+]

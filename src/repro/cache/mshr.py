@@ -1,0 +1,108 @@
+"""Miss Status Holding Registers — the MHA the paper contrasts with.
+
+Models the conventional miss-handling architecture of section 2.3: on a
+(last-level) cache miss a new MSHR entry is allocated and the cache-line
+request dispatched immediately; subsequent misses to the same line merge
+into the pending entry until the fill returns.  The merge window is
+therefore the *memory latency*, and the request size is always exactly
+one cache line — the two structural limits (fixed 64 B, no adaptivity)
+that motivate the MAC (section 2.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.request import MemoryRequest
+
+
+@dataclass
+class MSHREntry:
+    """One outstanding line fill and the requests merged under it."""
+
+    line: int
+    dispatch_cycle: int
+    fill_cycle: int
+    requests: List[MemoryRequest] = field(default_factory=list)
+
+
+@dataclass
+class MSHRStats:
+    misses: int = 0
+    allocations: int = 0
+    merges: int = 0
+    stalls: int = 0  # misses that found the MSHR file full
+
+    @property
+    def memory_requests(self) -> int:
+        """Line fills actually dispatched to memory."""
+        return self.allocations
+
+
+class MSHRFile:
+    """Fixed-size file of MSHRs in front of a memory with fixed latency."""
+
+    def __init__(
+        self,
+        entries: int = 16,
+        line_bytes: int = 64,
+        fill_latency: int = 307,
+    ) -> None:
+        if entries < 1:
+            raise ValueError("need at least one MSHR")
+        self.entries = entries
+        self.line_bytes = line_bytes
+        self.fill_latency = fill_latency
+        self._line_shift = line_bytes.bit_length() - 1
+        self._pending: Dict[int, MSHREntry] = {}
+        self.completed: List[MSHREntry] = []
+        self.stats = MSHRStats()
+
+    def line_of(self, addr: int) -> int:
+        return addr >> self._line_shift
+
+    def _retire(self, cycle: int) -> None:
+        done = [l for l, e in self._pending.items() if e.fill_cycle <= cycle]
+        for line in done:
+            self.completed.append(self._pending.pop(line))
+
+    def miss(self, request: MemoryRequest, cycle: int) -> bool:
+        """Register a cache miss at ``cycle``.
+
+        Returns False when the file is full (the processor must stall and
+        retry); True when the miss was allocated or merged.
+        """
+        self._retire(cycle)
+        self.stats.misses += 1
+        line = self.line_of(request.addr)
+        entry = self._pending.get(line)
+        if entry is not None:
+            entry.requests.append(request)
+            self.stats.merges += 1
+            return True
+        if len(self._pending) >= self.entries:
+            self.stats.stalls += 1
+            self.stats.misses -= 1  # caller retries; do not double count
+            return False
+        self._pending[line] = MSHREntry(
+            line=line,
+            dispatch_cycle=cycle,
+            fill_cycle=cycle + self.fill_latency,
+            requests=[request],
+        )
+        self.stats.allocations += 1
+        return True
+
+    def drain(self) -> List[MSHREntry]:
+        """Retire everything outstanding (end of run)."""
+        self.completed.extend(self._pending.values())
+        self._pending.clear()
+        return self.completed
+
+    @property
+    def coalescing_efficiency(self) -> float:
+        """Fraction of misses eliminated by MSHR merging (cf. Eq. 3)."""
+        if self.stats.misses == 0:
+            return 0.0
+        return self.stats.merges / self.stats.misses

@@ -1,0 +1,252 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``trace``    — generate a benchmark trace file;
+* ``coalesce`` — run a trace through the MAC and print statistics;
+* ``replay``   — replay a trace on a device (hmc / hbm / ddr), with or
+  without coalescing, and print the timing outcome;
+* ``figures``  — regenerate the paper's figures (fast or full scale);
+* ``info``     — print the Table 1 configuration and area report.
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+from typing import List, Optional
+
+from repro.baselines.direct import dispatch_raw
+from repro.core.config import MACConfig
+from repro.core.flit_table import FlitTablePolicy
+from repro.core.mac import coalesce_trace_fast
+from repro.core.stats import MACStats
+from repro.eval.report import format_table, human_bytes, pct
+from repro.trace.record import to_requests
+from repro.trace.tracefile import dump, load
+from repro.workloads.registry import AUXILIARY, BENCHMARKS, make
+
+
+def _add_mac_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--arq", type=int, default=32, help="ARQ entries (default 32)")
+    p.add_argument(
+        "--row-bytes", type=int, default=256, help="DRAM row size (default 256)"
+    )
+    p.add_argument(
+        "--policy",
+        choices=[x.value for x in FlitTablePolicy],
+        default="span",
+        help="FLIT-table policy (default span)",
+    )
+
+
+def _mac_config(args) -> MACConfig:
+    return MACConfig(
+        arq_entries=args.arq,
+        row_bytes=args.row_bytes,
+        max_request_bytes=min(args.row_bytes, 1024),
+    )
+
+
+def cmd_trace(args) -> int:
+    wl = make(args.benchmark, seed=args.seed)
+    records = wl.generate(threads=args.threads, ops_per_thread=args.ops)
+    n = dump(records, args.output)
+    print(f"wrote {n} records of {wl.name} to {args.output}")
+    return 0
+
+
+def cmd_coalesce(args) -> int:
+    records = list(load(args.trace))
+    requests = list(to_requests(records))
+    cfg = _mac_config(args)
+    stats = MACStats()
+    packets = coalesce_trace_fast(
+        requests, cfg, FlitTablePolicy(args.policy), stats
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["raw requests", stats.memory_raw_requests],
+                ["packets", stats.coalesced_packets],
+                ["coalescing efficiency", pct(stats.coalescing_efficiency)],
+                ["avg targets/packet", round(stats.avg_targets_per_packet, 2)],
+                ["bandwidth efficiency", pct(stats.coalesced_bandwidth_efficiency)],
+                ["control saved", human_bytes(stats.bandwidth_saved_bytes())],
+                [
+                    "packet sizes",
+                    ", ".join(
+                        f"{s}B x {n}" for s, n in sorted(stats.packet_sizes.items())
+                    ),
+                ],
+            ],
+            title=f"MAC over {args.trace} (ARQ={args.arq}, {args.policy})",
+        )
+    )
+    return 0
+
+
+def cmd_replay(args) -> int:
+    records = list(load(args.trace))
+    requests = list(to_requests(records))
+    cfg = _mac_config(args)
+    stats = MACStats()
+    if args.no_mac:
+        packets = dispatch_raw(requests, cfg, stats)
+        cadence = 1.0
+    else:
+        packets = coalesce_trace_fast(
+            requests, cfg, FlitTablePolicy(args.policy), stats
+        )
+        cadence = 2.0
+
+    rows: List[List[object]] = [
+        ["packets", len(packets)],
+        ["coalescing efficiency", pct(stats.coalescing_efficiency)],
+    ]
+    if args.device == "hmc":
+        from repro.hmc.device import HMCDevice
+
+        dev = HMCDevice()
+        t = 0.0
+        for p in packets:
+            dev.submit(p, int(t))
+            t += cadence
+        rows += [
+            ["bank conflicts", dev.bank_conflicts],
+            ["mean latency (cycles)", round(dev.stats.mean_latency, 1)],
+            ["makespan (cycles)", dev.stats.makespan],
+            ["wire traffic", human_bytes(dev.stats.wire_bytes)],
+        ]
+    elif args.device == "hbm":
+        from repro.hbm.device import HBMDevice
+
+        dev = HBMDevice()
+        t = 0.0
+        for p in packets:
+            dev.submit(p, int(t))
+            t += cadence
+        rows += [
+            ["bank conflicts", dev.bank_conflicts],
+            ["mean latency (cycles)", round(dev.stats.mean_latency, 1)],
+            ["data-bus traffic", human_bytes(dev.stats.data_bus_bytes)],
+        ]
+    else:  # ddr
+        from repro.ddr.device import DDRDevice
+
+        dev = DDRDevice()
+        t = 0.0
+        for p in packets:
+            dev.submit(p, int(t))
+            t += cadence
+        dev.run()
+        rows += [
+            ["row-hit rate", pct(dev.row_hit_rate)],
+            ["bank conflicts", dev.bank_conflicts],
+            ["mean latency (cycles)", round(dev.stats.mean_latency, 1)],
+        ]
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=f"replay of {args.trace} on {args.device} "
+            f"({'raw' if args.no_mac else 'MAC'})",
+        )
+    )
+    return 0
+
+
+def cmd_figures(args) -> int:
+    from repro.eval import experiments as E
+
+    kw = dict(threads=2, ops_per_thread=500) if args.fast else {}
+    wanted = set(args.only or [])
+
+    def want(tag: str) -> bool:
+        return not wanted or tag in wanted
+
+    if want("fig10"):
+        table = E.fig10_coalescing_efficiency(
+            total_ops=4000 if args.fast else 24000
+        )
+        avg = statistics.mean(table[8].values())
+        print(f"fig10: avg efficiency @8 threads {pct(avg)} (paper 52.86%)")
+    if want("fig11"):
+        sweep = E.fig11_arq_sweep(**kw)
+        print(f"fig11: {[pct(v) for v in sweep.values()]}")
+    if want("fig17"):
+        f17 = E.fig17_speedup(**kw)
+        mk = statistics.mean(v["makespan_speedup"] for v in f17.values())
+        print(f"fig17: avg makespan speedup {pct(mk)} (paper 60.73%)")
+    print("done; see `pytest benchmarks/ --benchmark-only -s` for every figure")
+    return 0
+
+
+def cmd_info(args) -> int:
+    from repro.eval.area import mac_area
+    from repro.eval.experiments import table1_config
+
+    print(
+        format_table(
+            ["parameter", "value"],
+            [[k, v] for k, v in table1_config().items()],
+            title="Table 1 configuration",
+        )
+    )
+    report = mac_area()
+    print(
+        f"MAC area: {report.total_bytes} B "
+        f"({report.comparators} comparators, {report.or_gates} OR gates)"
+    )
+    names = ", ".join(list(BENCHMARKS) + list(AUXILIARY))
+    print(f"workloads: {names}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="MAC (Memory Access Coalescer) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("trace", help="generate a benchmark trace file")
+    p.add_argument("benchmark", help="benchmark name (see `repro info`)")
+    p.add_argument("-o", "--output", required=True, help=".trc = binary, else text")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--ops", type=int, default=3000, help="ops per thread")
+    p.add_argument("--seed", type=int, default=2019)
+    p.set_defaults(func=cmd_trace)
+
+    p = sub.add_parser("coalesce", help="run a trace through the MAC")
+    p.add_argument("trace")
+    _add_mac_args(p)
+    p.set_defaults(func=cmd_coalesce)
+
+    p = sub.add_parser("replay", help="replay a trace on a memory device")
+    p.add_argument("trace")
+    p.add_argument("--device", choices=("hmc", "hbm", "ddr"), default="hmc")
+    p.add_argument("--no-mac", action="store_true", help="raw 16 B dispatch")
+    _add_mac_args(p)
+    p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser("figures", help="regenerate paper figures (summary)")
+    p.add_argument("--fast", action="store_true")
+    p.add_argument("--only", nargs="*", help="e.g. fig10 fig11 fig17")
+    p.set_defaults(func=cmd_figures)
+
+    p = sub.add_parser("info", help="print configuration and workload list")
+    p.set_defaults(func=cmd_info)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

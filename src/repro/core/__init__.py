@@ -1,0 +1,70 @@
+"""The MAC core: the paper's primary contribution (sections 3-4).
+
+Public surface:
+
+* :class:`MACConfig`, :class:`SystemConfig` — configuration (Table 1).
+* :class:`MemoryRequest`, :class:`RequestType`, :class:`Target` — raw
+  request primitives.
+* :class:`AddressCodec` — physical address layout (Fig. 5).
+* :class:`FlitMap` — per-row request bitmap (Fig. 6).
+* :class:`FlitTable`, :class:`FlitTablePolicy` — stage-2 lookup (Fig. 8).
+* :class:`AggregatedRequestQueue`, :class:`ARQEntry` — the ARQ.
+* :class:`RawRequestAggregator` — cycle model of the intake stage.
+* :class:`RequestBuilder` — the two-stage pipelined builder.
+* :class:`RequestRouter`, :class:`ResponseRouter`, :class:`FIFOQueue` —
+  node front-end routing (sections 3.1/3.3).
+* :class:`MAC` — the fully wired coalescer (cycle engine).
+* :func:`coalesce_trace_fast` — steady-state window engine for sweeps.
+* :class:`CoalescedRequest`, :class:`CoalescedResponse` — device-side
+  transaction types.
+* :class:`MACStats` — evaluation counters.
+"""
+
+from .address import AddressCodec
+from .aggregator import RawRequestAggregator
+from .arq import AggregatedRequestQueue, ARQEntry
+from .builder import RequestBuilder, bypass_packet
+from .config import MACConfig, PAPER_CONFIG, PAPER_SYSTEM, SystemConfig
+from .flit import FlitMap
+from .flit_table import BuiltSegment, FlitTable, FlitTablePolicy
+from .mac import MAC, coalesce_trace_fast
+from .packet import (
+    CONTROL_BYTES_PER_ACCESS,
+    CONTROL_BYTES_PER_PACKET,
+    CoalescedRequest,
+    CoalescedResponse,
+)
+from .request import MemoryRequest, RequestType, Target, TARGET_BYTES
+from .router import FIFOQueue, RequestRouter, ResponseRouter
+from .stats import MACStats
+
+__all__ = [
+    "AddressCodec",
+    "AggregatedRequestQueue",
+    "ARQEntry",
+    "BuiltSegment",
+    "CONTROL_BYTES_PER_ACCESS",
+    "CONTROL_BYTES_PER_PACKET",
+    "CoalescedRequest",
+    "CoalescedResponse",
+    "FIFOQueue",
+    "FlitMap",
+    "FlitTable",
+    "FlitTablePolicy",
+    "MAC",
+    "MACConfig",
+    "MACStats",
+    "MemoryRequest",
+    "PAPER_CONFIG",
+    "PAPER_SYSTEM",
+    "RawRequestAggregator",
+    "RequestBuilder",
+    "RequestRouter",
+    "RequestType",
+    "ResponseRouter",
+    "SystemConfig",
+    "TARGET_BYTES",
+    "Target",
+    "bypass_packet",
+    "coalesce_trace_fast",
+]

@@ -1,0 +1,107 @@
+"""Physical address codec (paper Fig. 5 and section 4.1).
+
+The MAC partitions a physical address into:
+
+* ``flit offset``  — bits 0..3, the byte offset inside one 16 B FLIT
+  (ignored by the coalescer);
+* ``flit id``      — bits 4..7, which of the 16 FLITs of the 256 B row is
+  requested;
+* ``row number``   — bits 8.., the index of the HMC DRAM row (vault, bank
+  and in-bank row bits combined).
+
+Two extension bits augment the row number inside the ARQ
+(section 4.1.2): the ``T`` (type) bit, placed just above the 52-bit
+physical address so that loads and stores to the same row compare unequal
+with a single comparator, and the ``B`` (bypass) bit, which marks entries
+that cannot coalesce further.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import MACConfig
+from .request import MemoryRequest, RequestType
+
+
+@dataclass(frozen=True, slots=True)
+class AddressCodec:
+    """Bit-level encode/decode of physical addresses for one MAC config."""
+
+    config: MACConfig
+
+    # -- basic field extraction ------------------------------------------
+
+    def row_number(self, addr: int) -> int:
+        """DRAM row index of ``addr`` (address >> row_offset_bits)."""
+        self._check(addr)
+        return addr >> self.config.row_offset_bits
+
+    def row_offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` inside its DRAM row."""
+        self._check(addr)
+        return addr & (self.config.row_bytes - 1)
+
+    def flit_id(self, addr: int) -> int:
+        """FLIT index (0..15 for 256 B rows) of ``addr`` inside its row."""
+        self._check(addr)
+        return self.row_offset(addr) >> self.config.flit_offset_bits
+
+    def flit_offset(self, addr: int) -> int:
+        """Byte offset of ``addr`` inside its FLIT (bits 0..3)."""
+        self._check(addr)
+        return addr & (self.config.flit_bytes - 1)
+
+    def row_base(self, addr: int) -> int:
+        """Byte address of the first byte of the row containing ``addr``."""
+        self._check(addr)
+        return addr & ~(self.config.row_bytes - 1)
+
+    # -- composition ------------------------------------------------------
+
+    def compose(self, row: int, flit: int = 0, offset: int = 0) -> int:
+        """Build a physical address from (row number, flit id, byte offset)."""
+        cfg = self.config
+        if not 0 <= flit < cfg.flits_per_row:
+            raise ValueError(f"flit id {flit} out of range")
+        if not 0 <= offset < cfg.flit_bytes:
+            raise ValueError(f"flit offset {offset} out of range")
+        addr = (row << cfg.row_offset_bits) | (flit << cfg.flit_offset_bits) | offset
+        self._check(addr)
+        return addr
+
+    # -- ARQ comparator key ------------------------------------------------
+
+    def arq_key(self, request: MemoryRequest) -> int:
+        """The single-comparator key used by the ARQ (section 4.1.2).
+
+        The key is the row number with the T bit spliced in as its most
+        significant bit, so one integer comparison distinguishes both the
+        target row and the request type.
+        """
+        if not request.rtype.coalescable:
+            raise ValueError("only loads/stores carry an ARQ key")
+        row_bits = self.config.phys_addr_bits - self.config.row_offset_bits
+        t = request.rtype.t_bit
+        return (t << row_bits) | self.row_number(request.addr)
+
+    def key_row(self, key: int) -> int:
+        """Recover the row number from an ARQ key."""
+        row_bits = self.config.phys_addr_bits - self.config.row_offset_bits
+        return key & ((1 << row_bits) - 1)
+
+    def key_type(self, key: int) -> RequestType:
+        """Recover the request type (load/store) from an ARQ key."""
+        row_bits = self.config.phys_addr_bits - self.config.row_offset_bits
+        return RequestType.STORE if (key >> row_bits) & 1 else RequestType.LOAD
+
+    # -- helpers -----------------------------------------------------------
+
+    def _check(self, addr: int) -> None:
+        if addr < 0:
+            raise ValueError(f"negative address {addr:#x}")
+        if addr >> self.config.phys_addr_bits:
+            raise ValueError(
+                f"address {addr:#x} exceeds {self.config.phys_addr_bits}-bit "
+                "physical address space"
+            )

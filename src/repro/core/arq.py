@@ -1,0 +1,251 @@
+"""Aggregated Request Queue — the heart of the Raw Request Aggregator.
+
+The ARQ (paper section 4.1, Fig. 5) is a FIFO of entries, each holding one
+pending coalesced row access: the extended row key (row number + T bit),
+a FLIT map, a bypass (B) bit and the target list of every merged raw
+request.  Each entry is associated with a comparator; an incoming raw
+request is compared against all pending entries simultaneously and merged
+on a key hit, otherwise a new entry is allocated at the tail.
+
+Fences disable the comparators until they drain (section 4.1); the
+latency-hiding mechanism bypasses the comparators entirely while more than
+half of the queue is free (section 4.1); single-request entries carry the
+B bit and skip the request builder (section 4.1.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional
+
+from .address import AddressCodec
+from .config import MACConfig
+from .flit import FlitMap
+from .request import MemoryRequest, RequestType, Target
+
+
+@dataclass(slots=True)
+class ARQEntry:
+    """One pending (possibly coalesced) row access.
+
+    Attributes:
+        key: comparator key — row number with the T bit as its MSB.
+        flit_map: bitmap of requested FLITs in the row.
+        targets: target info of every merged raw request, in merge order.
+        bypass: the B bit — set when the entry can no longer coalesce
+            (single-request rows and fences bypass the builder).
+        fence: whether this entry is a memory-fence marker.
+        atomic: whether this entry is an uncoalescable atomic operation.
+        alloc_cycle: cycle at which the entry was allocated (stats).
+        requests: the raw requests merged here (kept for response routing
+            and conservation checks; hardware would keep only targets).
+    """
+
+    key: int
+    flit_map: FlitMap
+    targets: List[Target] = field(default_factory=list)
+    bypass: bool = False
+    fence: bool = False
+    atomic: bool = False
+    alloc_cycle: int = 0
+    requests: List[MemoryRequest] = field(default_factory=list)
+
+    @property
+    def target_count(self) -> int:
+        return len(self.targets)
+
+
+class AggregatedRequestQueue:
+    """FIFO of ARQEntry with associative merge, fences and bypass.
+
+    This class models the queue *structure*; the cycle-by-cycle accept/pop
+    cadence lives in :class:`repro.core.aggregator.RawRequestAggregator`.
+    """
+
+    def __init__(self, config: MACConfig, codec: Optional[AddressCodec] = None):
+        self.config = config
+        self.codec = codec or AddressCodec(config)
+        self._entries: Deque[ARQEntry] = deque()
+        # Row-key index for O(1) comparator emulation.  Hardware compares
+        # all entries in parallel; a dict gives identical semantics.  Only
+        # mergeable entries (comparators enabled, not full, not bypassed)
+        # are indexed.
+        self._index: Dict[int, ARQEntry] = {}
+        # Comparators disabled while a fence is pending (section 4.1).
+        self._fence_pending = 0
+        # Latency-hiding bypass (section 4.1) is edge-triggered: when the
+        # free-entry counter *reaches* a value N greater than half the
+        # ARQ, the N following raw requests skip the comparators and fill
+        # free entries directly; the mechanism re-arms once the queue has
+        # been busy (free <= threshold) again.
+        self._bypass_budget = 0
+        self._bypass_armed = True
+        # Stats hooks.
+        self.merges = 0
+        self.allocations = 0
+        self.fence_blocked_merges = 0
+        self.bypass_fills = 0
+
+    # -- capacity ------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def free_entries(self) -> int:
+        """The free-entry counter driving latency hiding (section 4.1)."""
+        return self.config.arq_entries - len(self._entries)
+
+    @property
+    def full(self) -> bool:
+        return self.free_entries == 0
+
+    @property
+    def empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def comparators_enabled(self) -> bool:
+        return self._fence_pending == 0
+
+    def entries(self) -> List[ARQEntry]:
+        """Snapshot of pending entries in FIFO order (oldest first)."""
+        return list(self._entries)
+
+    # -- insertion -------------------------------------------------------------
+
+    def push(self, request: MemoryRequest, cycle: int = 0) -> bool:
+        """Insert one raw request; returns False when the queue is full.
+
+        Implements the full section-4.1 semantics: associative merge on a
+        row-key hit, fence handling, atomic bypass, target-capacity limits
+        and the latency-hiding comparator bypass.
+        """
+        if request.is_fence:
+            return self._push_fence(request, cycle)
+        if request.is_atomic:
+            return self._push_atomic(request, cycle)
+
+        key = self.codec.arq_key(request)
+
+        if self.config.latency_hiding:
+            free = self.free_entries
+            if free <= self.config.bypass_threshold:
+                self._bypass_armed = True
+            elif self._bypass_armed and self._bypass_budget == 0:
+                # Counter crossed the threshold: burst-fill the N free
+                # entries with the N following requests (section 4.1).
+                self._bypass_armed = False
+                self._bypass_budget = free
+            if self._bypass_budget > 0:
+                self._bypass_budget -= 1
+                self.bypass_fills += 1
+                return self._allocate(request, key, cycle)
+
+        if self.comparators_enabled:
+            hit = self._index.get(key)
+            if hit is not None:
+                self._merge(hit, request)
+                return True
+        elif key in self._index:
+            self.fence_blocked_merges += 1
+
+        return self._allocate(request, key, cycle)
+
+    def _merge(self, entry: ARQEntry, request: MemoryRequest) -> None:
+        flit = self.codec.flit_id(request.addr)
+        entry.flit_map.set(flit)
+        entry.targets.append(Target(request.tid, request.tag, flit))
+        entry.requests.append(request)
+        entry.bypass = False  # >1 targets: goes through the builder
+        self.merges += 1
+        if entry.target_count >= self.config.target_capacity:
+            # Entry full: stop indexing it so further requests allocate anew.
+            self._unindex(entry)
+
+    def _allocate(self, request: MemoryRequest, key: int, cycle: int) -> bool:
+        if self.full:
+            return False
+        flit = self.codec.flit_id(request.addr)
+        fmap = FlitMap(self.config.flits_per_row)
+        fmap.set(flit)
+        entry = ARQEntry(
+            key=key,
+            flit_map=fmap,
+            targets=[Target(request.tid, request.tag, flit)],
+            bypass=True,  # single request so far -> B bit set
+            alloc_cycle=cycle,
+            requests=[request],
+        )
+        self._entries.append(entry)
+        # A key may already be indexed (e.g. capacity-evicted or
+        # fence-separated duplicate); the newest entry wins the comparator,
+        # matching hardware priority encoders that favour the youngest hit.
+        self._index[key] = entry
+        self.allocations += 1
+        return True
+
+    def _push_fence(self, request: MemoryRequest, cycle: int) -> bool:
+        if self.full:
+            return False
+        entry = ARQEntry(
+            key=-1,
+            flit_map=FlitMap(self.config.flits_per_row),
+            bypass=True,
+            fence=True,
+            alloc_cycle=cycle,
+            requests=[request],
+        )
+        self._entries.append(entry)
+        self._fence_pending += 1
+        return True
+
+    def _push_atomic(self, request: MemoryRequest, cycle: int) -> bool:
+        if self.full:
+            return False
+        flit = self.codec.flit_id(request.addr)
+        fmap = FlitMap(self.config.flits_per_row)
+        fmap.set(flit)
+        entry = ARQEntry(
+            key=-1,
+            flit_map=fmap,
+            targets=[Target(request.tid, request.tag, flit)],
+            bypass=True,
+            atomic=True,
+            alloc_cycle=cycle,
+            requests=[request],
+        )
+        self._entries.append(entry)
+        return True
+
+    # -- removal ---------------------------------------------------------------
+
+    def pop(self) -> Optional[ARQEntry]:
+        """Remove and return the oldest entry (None when empty)."""
+        if not self._entries:
+            return None
+        # A pop while the queue is busy re-arms the latency-hiding
+        # trigger: the free-entry counter is about to climb back towards
+        # the threshold from the busy side.
+        if self.free_entries <= self.config.bypass_threshold:
+            self._bypass_armed = True
+        entry = self._entries.popleft()
+        if entry.fence:
+            self._fence_pending -= 1
+        else:
+            self._unindex(entry)
+        return entry
+
+    def peek(self) -> Optional[ARQEntry]:
+        return self._entries[0] if self._entries else None
+
+    def _unindex(self, entry: ARQEntry) -> None:
+        if self._index.get(entry.key) is entry:
+            del self._index[entry.key]
+
+    # -- introspection ------------------------------------------------------
+
+    def pending_targets(self) -> int:
+        """Total raw requests currently buffered."""
+        return sum(e.target_count for e in self._entries)

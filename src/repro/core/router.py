@@ -1,0 +1,173 @@
+"""Request and response routers of the node front-end (paper sections 3.1, 3.3).
+
+The request router classifies raw requests by home node: requests whose
+physical address belongs to the local 3D-stacked memory go to the *Local
+Access Queue*; requests for remote devices are forwarded through the
+*Global Access Queue*; requests arriving from remote nodes land in the
+*Remote Access Queue*.  The response router matches device responses to
+their targets and returns data either to local cores or to the
+originating remote node.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+from .packet import CoalescedResponse
+from .request import MemoryRequest, Target
+
+
+class FIFOQueue:
+    """Bounded FIFO decoupling cores from the memory subsystem."""
+
+    def __init__(self, capacity: int = 64, name: str = "queue") -> None:
+        if capacity < 1:
+            raise ValueError("queue capacity must be positive")
+        self.capacity = capacity
+        self.name = name
+        self._q: Deque[MemoryRequest] = deque()
+        self.enqueued = 0
+        self.rejected = 0
+
+    def __len__(self) -> int:
+        return len(self._q)
+
+    @property
+    def full(self) -> bool:
+        return len(self._q) >= self.capacity
+
+    @property
+    def empty(self) -> bool:
+        return not self._q
+
+    def push(self, request: MemoryRequest) -> bool:
+        if self.full:
+            self.rejected += 1
+            return False
+        self._q.append(request)
+        self.enqueued += 1
+        return True
+
+    def pop(self) -> Optional[MemoryRequest]:
+        return self._q.popleft() if self._q else None
+
+    def peek(self) -> Optional[MemoryRequest]:
+        return self._q[0] if self._q else None
+
+
+@dataclass
+class RouterStats:
+    local: int = 0
+    outbound_remote: int = 0
+    inbound_remote: int = 0
+
+
+class RequestRouter:
+    """Classifies raw requests into local / global / remote queues.
+
+    Args:
+        node_id: id of the node this router belongs to.
+        home_fn: maps a physical address to its home node id.  The default
+            (None) treats every address as local — the single-node setup
+            used throughout the paper's evaluation.
+        queue_capacity: depth of each FIFO.
+    """
+
+    def __init__(
+        self,
+        node_id: int = 0,
+        home_fn: Optional[Callable[[int], int]] = None,
+        queue_capacity: int = 64,
+    ) -> None:
+        self.node_id = node_id
+        self.home_fn = home_fn
+        self.local_queue = FIFOQueue(queue_capacity, "local")
+        self.global_queue = FIFOQueue(queue_capacity, "global")
+        self.remote_queue = FIFOQueue(queue_capacity, "remote")
+        self.stats = RouterStats()
+
+    def home(self, addr: int) -> int:
+        return self.node_id if self.home_fn is None else self.home_fn(addr)
+
+    def route(self, request: MemoryRequest) -> bool:
+        """Route one locally generated raw request; False if queue full."""
+        if request.is_fence or self.home(request.addr) == self.node_id:
+            ok = self.local_queue.push(request)
+            if ok:
+                self.stats.local += 1
+            return ok
+        ok = self.global_queue.push(request)
+        if ok:
+            self.stats.outbound_remote += 1
+        return ok
+
+    def receive_remote(self, request: MemoryRequest) -> bool:
+        """Accept a raw request arriving from a remote node."""
+        ok = self.remote_queue.push(request)
+        if ok:
+            self.stats.inbound_remote += 1
+        return ok
+
+    def next_for_mac(self) -> Optional[MemoryRequest]:
+        """Pop the next raw request bound for the local MAC.
+
+        Local traffic has priority; remote traffic is served when the
+        local queue is empty (simple two-queue arbitration).
+        """
+        req = self.local_queue.pop()
+        if req is None:
+            req = self.remote_queue.pop()
+        return req
+
+    def next_outbound(self) -> Optional[MemoryRequest]:
+        """Pop the next raw request bound for a remote node."""
+        return self.global_queue.pop()
+
+
+class ResponseRouter:
+    """Directs device responses back to cores or remote nodes (section 3.3)."""
+
+    def __init__(self, node_id: int = 0, buffer_capacity: int = 256) -> None:
+        self.node_id = node_id
+        self.buffer_capacity = buffer_capacity
+        self._buffer: Deque[CoalescedResponse] = deque()
+        #: (tid, tag) -> completion cycle, for load/store queue matching.
+        self.completed: Dict[Tuple[int, int], int] = {}
+        self.local_deliveries = 0
+        self.remote_deliveries = 0
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+    def receive(self, response: CoalescedResponse) -> None:
+        """Store a device response in the response buffer."""
+        if len(self._buffer) >= self.buffer_capacity:
+            raise RuntimeError("response buffer overflow")
+        self._buffer.append(response)
+
+    def drain(
+        self,
+    ) -> Tuple[List[Tuple[Target, MemoryRequest]], List[Tuple[Target, MemoryRequest]]]:
+        """Route every buffered response to its destinations.
+
+        Returns (local, remote) lists of (target, raw request) pairs.
+        Raw requests get their ``complete_cycle`` stamped, and local
+        completions are recorded for LSQ matching.
+        """
+        local: List[Tuple[Target, MemoryRequest]] = []
+        remote: List[Tuple[Target, MemoryRequest]] = []
+        while self._buffer:
+            resp = self._buffer.popleft()
+            for target, raw in zip(resp.request.targets, resp.request.requests):
+                raw.complete_cycle = resp.complete_cycle
+                if raw.node == self.node_id:
+                    self.completed[(target.tid, target.tag)] = resp.complete_cycle
+                    local.append((target, raw))
+                    self.local_deliveries += 1
+                else:
+                    remote.append((target, raw))
+                    self.remote_deliveries += 1
+        return local, remote

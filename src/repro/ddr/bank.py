@@ -1,0 +1,80 @@
+"""Open-page DDR bank with a row buffer.
+
+Unlike the HMC bank (:mod:`repro.hmc.bank`), a DDR bank keeps its last
+row open in the sense amplifiers: a subsequent access to the same row
+(*row hit*) skips activation; an access to a different row (*row
+conflict*) pays precharge + activate.  The open-page policy is what
+makes the row-buffer-hit-harvesting controller of section 2.2.1
+worthwhile on DDR — and what the HMC's closed-page operation removes.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from .timing import DDRTiming
+
+
+class AccessKind(enum.Enum):
+    HIT = "row_hit"
+    MISS = "row_miss"  # bank idle, row must be activated
+    CONFLICT = "row_conflict"  # another row open, precharge first
+
+
+@dataclass(slots=True)
+class DDRBank:
+    """One open-page bank: row-buffer state + busy-time bookkeeping."""
+
+    timing: DDRTiming
+    open_row: int = -1
+    ready_cycle: int = 0
+    #: Earliest cycle a precharge may issue (tRAS from last activate).
+    _ras_ready: int = 0
+    hits: int = 0
+    misses: int = 0
+    conflicts: int = 0
+    activations: int = 0
+
+    def classify(self, row: int) -> AccessKind:
+        """What kind of access ``row`` would be right now."""
+        if self.open_row == row:
+            return AccessKind.HIT
+        if self.open_row == -1:
+            return AccessKind.MISS
+        return AccessKind.CONFLICT
+
+    def access(self, arrival: int, row: int) -> int:
+        """Serve one 64 B access; returns the data-ready cycle."""
+        if arrival < 0:
+            raise ValueError("arrival must be non-negative")
+        t = self.timing
+        start = max(arrival, self.ready_cycle)
+        kind = self.classify(row)
+        if kind is AccessKind.HIT:
+            self.hits += 1
+            done = start + t.row_hit_latency
+        elif kind is AccessKind.MISS:
+            self.misses += 1
+            self.activations += 1
+            done = start + t.row_miss_latency
+            self._ras_ready = start + t.t_ras
+        else:
+            self.conflicts += 1
+            self.activations += 1
+            # Respect tRAS before the precharge may close the open row.
+            start = max(start, self._ras_ready)
+            done = start + t.row_conflict_latency
+            self._ras_ready = start + t.t_rp + t.t_ras
+        self.open_row = row
+        self.ready_cycle = done
+        return done
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses + self.conflicts
+
+    @property
+    def row_hit_rate(self) -> float:
+        n = self.accesses
+        return self.hits / n if n else 0.0

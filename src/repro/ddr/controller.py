@@ -1,0 +1,130 @@
+"""FR-FCFS memory controller — the row-hit harvester of section 2.2.1.
+
+First-Ready, First-Come-First-Served (Rixner et al., the paper's [37]):
+among queued requests, those hitting an open row are served first
+(oldest hit first); otherwise the oldest request is served.  On DDR
+this recovers substantial locality from re-ordered streams; the paper's
+point is that the HMC's closed-page policy removes the open rows this
+scheduler feeds on, pushing aggregation to the processor side (the MAC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from .bank import AccessKind, DDRBank
+from .timing import DDRTiming
+
+
+@dataclass(slots=True)
+class QueuedRequest:
+    """One 64 B request waiting in the controller."""
+
+    arrival: int
+    bank: int
+    row: int
+    tag: int
+    complete_cycle: int = -1
+
+
+@dataclass
+class ControllerStats:
+    served: int = 0
+    reordered: int = 0  # served ahead of an older request
+    row_hits: int = 0
+    total_wait: int = 0
+
+
+class FRFCFSController:
+    """Single-channel FR-FCFS scheduler over open-page banks."""
+
+    def __init__(
+        self,
+        banks: int = 16,
+        timing: Optional[DDRTiming] = None,
+        queue_depth: int = 64,
+    ) -> None:
+        if banks < 1 or banks & (banks - 1):
+            raise ValueError("bank count must be a positive power of two")
+        self.timing = timing or DDRTiming()
+        self.banks = [DDRBank(self.timing) for _ in range(banks)]
+        self.queue_depth = queue_depth
+        self._queue: List[QueuedRequest] = []
+        self.stats = ControllerStats()
+        self._now = 0
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def full(self) -> bool:
+        return len(self._queue) >= self.queue_depth
+
+    def enqueue(self, arrival: int, bank: int, row: int, tag: int) -> bool:
+        """Admit one request; False when the queue is full."""
+        if not 0 <= bank < len(self.banks):
+            raise ValueError(f"bank {bank} out of range")
+        if self.full:
+            return False
+        self._queue.append(QueuedRequest(arrival, bank, row, tag))
+        return True
+
+    def _pick(self, now: int) -> Optional[int]:
+        """FR-FCFS selection among requests that have arrived by ``now``."""
+        best_hit: Optional[int] = None
+        oldest: Optional[int] = None
+        for i, req in enumerate(self._queue):
+            if req.arrival > now:
+                continue
+            if oldest is None or req.arrival < self._queue[oldest].arrival:
+                oldest = i
+            bank = self.banks[req.bank]
+            if bank.ready_cycle <= now and bank.classify(req.row) is AccessKind.HIT:
+                if best_hit is None or req.arrival < self._queue[best_hit].arrival:
+                    best_hit = i
+        return best_hit if best_hit is not None else oldest
+
+    def service_one(self, now: int) -> Optional[QueuedRequest]:
+        """Schedule and serve the next request; returns it, completed."""
+        idx = self._pick(now)
+        if idx is None:
+            return None
+        req = self._queue.pop(idx)
+        bank = self.banks[req.bank]
+        was_hit = bank.classify(req.row) is AccessKind.HIT
+        done = bank.access(max(now, req.arrival), req.row)
+        req.complete_cycle = done + self.timing.io_latency
+        st = self.stats
+        st.served += 1
+        if was_hit:
+            st.row_hits += 1
+        if idx > 0:
+            st.reordered += 1
+        st.total_wait += max(now - req.arrival, 0)
+        return req
+
+    def drain(self, start: int = 0) -> List[QueuedRequest]:
+        """Serve everything queued, advancing time bank-availability-wise."""
+        out: List[QueuedRequest] = []
+        now = start
+        while self._queue:
+            req = self.service_one(now)
+            if req is None:
+                # Nothing has arrived yet: jump to the next arrival.
+                now = min(r.arrival for r in self._queue)
+                continue
+            out.append(req)
+            now = max(now, min(b.ready_cycle for b in self.banks))
+        return out
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def row_hit_rate(self) -> float:
+        n = self.stats.served
+        return self.stats.row_hits / n if n else 0.0
+
+    @property
+    def bank_conflicts(self) -> int:
+        return sum(b.conflicts for b in self.banks)

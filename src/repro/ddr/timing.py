@@ -1,0 +1,56 @@
+"""JEDEC DDR4-class timing parameters (paper section 2.2).
+
+The paper contrasts the HMC's closed-page packetized protocol with
+conventional DDR devices: fixed 64 B access granularity (BL8 on a
+64-bit bus), open-page row buffers, and a controller that harvests
+row-buffer hits (section 2.2.1).  This module provides the timing for
+that comparison substrate.
+
+All values are CPU cycles at the node clock (3.3 GHz), derived from
+DDR4-2400-class parts: tRCD = tCAS = tRP ~ 14.16 ns, tRAS ~ 32 ns,
+burst of 8 transfers at 1200 MHz DDR ~ 3.3 ns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class DDRTiming:
+    """Cycle counts of DDR4 operations at the 3.3 GHz node clock."""
+
+    #: Row activate (tRCD): activation to column command.
+    t_rcd: int = 47
+    #: Column access strobe latency (tCAS/tCL).
+    t_cas: int = 47
+    #: Precharge (tRP).
+    t_rp: int = 47
+    #: Minimum activate-to-precharge interval (tRAS).
+    t_ras: int = 106
+    #: Burst transfer: 8 beats at the 2400 MT/s bus ~ 3.3 ns.
+    t_burst: int = 11
+    #: Command/address bus occupancy per command.
+    t_cmd: int = 2
+    #: On-die/PHY + controller pipeline each way.
+    io_latency: int = 50
+
+    def __post_init__(self) -> None:
+        for name in ("t_rcd", "t_cas", "t_rp", "t_ras", "t_burst", "t_cmd", "io_latency"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @property
+    def row_hit_latency(self) -> int:
+        """Column access into an already-open row."""
+        return self.t_cas + self.t_burst
+
+    @property
+    def row_miss_latency(self) -> int:
+        """Access to an idle (precharged) bank: activate first."""
+        return self.t_rcd + self.t_cas + self.t_burst
+
+    @property
+    def row_conflict_latency(self) -> int:
+        """Access needing to close another row first."""
+        return self.t_rp + self.t_rcd + self.t_cas + self.t_burst

@@ -1,0 +1,63 @@
+"""Evaluation layer: metrics (Eqs. 1-3), area model, experiment drivers."""
+
+from . import energy, experiments, metrics, serialize, sweeps
+from .area import AreaReport, arq_bytes, builder_bytes, entry_capacity, mac_area
+from .metrics import (
+    HMC_REQUEST_SIZES,
+    bandwidth_efficiency,
+    bandwidth_saved,
+    coalescing_efficiency,
+    control_overhead_fraction,
+    mean_bandwidth_efficiency,
+    requests_per_cycle,
+    size_histogram,
+    speedup,
+    wire_bytes,
+)
+from .report import format_comparison, format_table, human_bytes, pct
+from .sweeps import SweepPoint, best_point, format_sweep, sweep_grid
+from .runner import (
+    DispatchResult,
+    ReplayResult,
+    cached_trace,
+    compare_policies,
+    dispatch,
+    replay_on_device,
+)
+
+__all__ = [
+    "AreaReport",
+    "DispatchResult",
+    "HMC_REQUEST_SIZES",
+    "ReplayResult",
+    "arq_bytes",
+    "bandwidth_efficiency",
+    "bandwidth_saved",
+    "builder_bytes",
+    "cached_trace",
+    "coalescing_efficiency",
+    "compare_policies",
+    "control_overhead_fraction",
+    "dispatch",
+    "energy",
+    "serialize",
+    "sweep_grid",
+    "sweeps",
+    "SweepPoint",
+    "best_point",
+    "format_sweep",
+    "entry_capacity",
+    "experiments",
+    "format_comparison",
+    "format_table",
+    "human_bytes",
+    "mac_area",
+    "mean_bandwidth_efficiency",
+    "metrics",
+    "pct",
+    "replay_on_device",
+    "requests_per_cycle",
+    "size_histogram",
+    "speedup",
+    "wire_bytes",
+]

@@ -1,0 +1,100 @@
+"""Energy model for the memory path (paper section 2.2.1's motivation).
+
+The paper motivates the HMC's short rows and closed-page policy with
+power ("always leaving the DRAM's rows open would lead to high power
+consumption"); coalescing compounds the saving by cutting both the
+per-access control traffic on the SerDes links and the number of row
+activations.  This model prices a packet stream with published
+per-operation energies:
+
+* HMC SerDes link transfer: ~13.7 pJ/bit end to end (Jeddeloh & Keeth,
+  the paper's [24], report 10.48 pJ/bit for the cube; add host PHY);
+* DRAM row activation: ~0.9 nJ for a 256 B row (activation energy
+  scales with row length — the overfetch argument for short rows);
+* column read/write: ~4 pJ/bit of payload moved inside the stack.
+
+Values are configurable; the *ratios* between policies are the result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.packet import CONTROL_BYTES_PER_ACCESS, CoalescedRequest
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyParams:
+    """Per-operation energies (picojoules)."""
+
+    link_pj_per_bit: float = 13.7
+    activation_pj_per_row: float = 900.0
+    column_pj_per_bit: float = 4.0
+    #: Static row energy if rows were held open (open-page comparison).
+    open_row_pj_per_cycle: float = 0.05
+
+    def __post_init__(self) -> None:
+        for name in (
+            "link_pj_per_bit",
+            "activation_pj_per_row",
+            "column_pj_per_bit",
+            "open_row_pj_per_cycle",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True, slots=True)
+class EnergyReport:
+    """Energy breakdown of one packet stream (picojoules)."""
+
+    link_pj: float
+    activation_pj: float
+    column_pj: float
+    packets: int
+
+    @property
+    def total_pj(self) -> float:
+        return self.link_pj + self.activation_pj + self.column_pj
+
+    @property
+    def pj_per_packet(self) -> float:
+        return self.total_pj / self.packets if self.packets else 0.0
+
+
+def stream_energy(
+    packets: Sequence[CoalescedRequest],
+    params: EnergyParams | None = None,
+    activations_per_packet: float = 1.0,
+) -> EnergyReport:
+    """Price a packet stream on the HMC path.
+
+    Each packet moves ``size + 32`` control bytes over the links, opens
+    (activates) its row ``activations_per_packet`` times (1 under
+    closed-page with one-row packets), and reads/writes ``size`` bytes
+    through the column path.
+    """
+    p = params or EnergyParams()
+    link_bits = 8 * sum(pkt.size + CONTROL_BYTES_PER_ACCESS for pkt in packets)
+    column_bits = 8 * sum(pkt.size for pkt in packets)
+    activations = activations_per_packet * len(packets)
+    return EnergyReport(
+        link_pj=link_bits * p.link_pj_per_bit,
+        activation_pj=activations * p.activation_pj_per_row,
+        column_pj=column_bits * p.column_pj_per_bit,
+        packets=len(packets),
+    )
+
+
+def energy_saving(
+    raw_packets: Sequence[CoalescedRequest],
+    coalesced_packets: Sequence[CoalescedRequest],
+    params: EnergyParams | None = None,
+) -> float:
+    """Fraction of memory-path energy saved by coalescing."""
+    raw = stream_energy(raw_packets, params).total_pj
+    mac = stream_energy(coalesced_packets, params).total_pj
+    if raw <= 0:
+        return 0.0
+    return 1.0 - mac / raw

@@ -1,0 +1,387 @@
+"""One driver per table/figure of the paper's evaluation (section 5).
+
+Each function regenerates the rows/series of its figure and returns a
+plain dict mapping labels to measured values, together with the paper's
+headline number(s) where the text states them, so benches and
+EXPERIMENTS.md can print paper-vs-measured side by side.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.fixed import dispatch_fixed, useful_data_fraction
+from repro.cache.hierarchy import CacheHierarchy
+from repro.core.config import MACConfig, PAPER_SYSTEM
+from repro.core.packet import CONTROL_BYTES_PER_ACCESS
+from repro.core.request import RequestType
+from repro.trace.record import TraceRecord
+from repro.workloads.registry import BENCHMARKS, benchmark_names
+
+from . import metrics
+from .area import builder_bytes, mac_area
+from .runner import (
+    DEFAULT_OPS_PER_THREAD,
+    DEFAULT_THREADS,
+    cached_trace,
+    compare_policies,
+    dispatch,
+)
+
+# ---------------------------------------------------------------------------
+# Figure 1 — cache miss-rate analysis
+# ---------------------------------------------------------------------------
+
+
+def fig1_benchmark_missrates(
+    names: Optional[Sequence[str]] = None,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = 2000,
+    l1_bytes: int = 4 << 10,
+    llc_bytes: int = 64 << 10,
+    prefetch: bool = False,
+) -> Dict[str, float]:
+    """Fig. 1 (left): LLC-to-memory miss rate per benchmark.
+
+    Paper: average 49.09 %, with SG and HPCG above 50 %.  The cache
+    capacities default ~250x below the paper's because the traces are
+    ~1000x shorter than the paper's full-benchmark runs; the ratio of
+    working set to cache capacity — which determines the miss rate —
+    is thereby preserved (DESIGN.md substitution 3).
+
+    The cache study replays the benchmarks as a conventional cache-based
+    processor would run them: SG uses uniform-random gathers (the
+    section 2.1 definition: "C[i] is a random positive integer").
+    """
+    from repro.trace.record import TraceRecord  # local: avoids cycle
+    from repro.workloads.registry import make as make_wl
+
+    out: Dict[str, float] = {}
+    for name in names or benchmark_names():
+        if name == "SG":
+            wl = make_wl("SG", hot_frac=0.0)
+            trace: Sequence[TraceRecord] = wl.generate(
+                threads=threads, ops_per_thread=ops_per_thread
+            )
+        else:
+            trace = cached_trace(name, threads, ops_per_thread)
+        hier = CacheHierarchy(
+            cores=threads, l1_bytes=l1_bytes, llc_bytes=llc_bytes, prefetch=prefetch
+        )
+        hier.run_trace(trace)
+        out[name] = hier.stats.miss_rate
+    return out
+
+
+def fig1_seq_vs_random(
+    dataset_bytes: Sequence[int] = tuple(
+        int(80e3 * 4**i) for i in range(10)  # 80 KB ... ~21 GB, + 32 GB
+    )
+    + (32 << 30,),
+    accesses: int = 60_000,
+    seed: int = 2019,
+) -> Dict[int, Tuple[float, float]]:
+    """Fig. 1 (right): miss rate of ``A[i]=B[i]`` vs ``A[i]=B[C[i]]``.
+
+    Returns {dataset bytes: (sequential, random)} miss rates.  Paper:
+    sequential stays <= 2.36 %, random grows 3.12 % -> 63.85 % at 32 GB.
+    The cache is tag-only, so 32 GB datasets simulate in MBs of state.
+    """
+    rng = np.random.default_rng(seed)
+    out: Dict[int, Tuple[float, float]] = {}
+    for size in dataset_bytes:
+        elements = max(size // 8, 1)
+        # Sequential: stream B and A with unit stride.
+        hier_seq = CacheHierarchy(cores=1)
+        base_b, base_a = 1 << 32, 2 << 40
+        n = accesses // 2
+        for i in range(n):
+            idx = i % elements
+            hier_seq.access(0, base_b + idx * 8)
+            hier_seq.access(0, base_a + idx * 8)
+        # Random: gather B at uniform random C[i] (C itself streams and
+        # is prefetched; the gather is the measured behaviour).
+        hier_rnd = CacheHierarchy(cores=1)
+        gathers = rng.integers(0, elements, size=n)
+        for i in range(n):
+            hier_rnd.access(0, base_b + int(gathers[i]) * 8)
+            hier_rnd.access(0, base_a + (i % elements) * 8)
+        out[size] = (hier_seq.stats.miss_rate, hier_rnd.stats.miss_rate)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 3 — analytic bandwidth efficiency vs request size
+# ---------------------------------------------------------------------------
+
+
+def fig3_bandwidth_efficiency(
+    sizes: Sequence[int] = metrics.HMC_REQUEST_SIZES,
+) -> Dict[int, Tuple[float, float]]:
+    """Fig. 3: {size: (efficiency, overhead)}.
+
+    Paper anchors: 16 B -> (33.33 %, 66.66 %); 256 B -> (88.89 %, 11.11 %).
+    """
+    return {
+        s: (metrics.bandwidth_efficiency(s), metrics.control_overhead_fraction(s))
+        for s in sizes
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure 9 — raw requests per cycle (Eq. 2)
+# ---------------------------------------------------------------------------
+
+
+def fig9_requests_per_cycle(cores: int = 8) -> Dict[str, float]:
+    """Fig. 9: RPC per benchmark; paper: all > 2, up to 9.32."""
+    out: Dict[str, float] = {}
+    for name, cls in BENCHMARKS.items():
+        p = cls.profile
+        out[name] = metrics.requests_per_cycle(p.ipc, p.rpi, cores, p.mem_access_rate)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 10 — coalescing efficiency per benchmark and thread count
+# ---------------------------------------------------------------------------
+
+
+def fig10_coalescing_efficiency(
+    thread_counts: Sequence[int] = (2, 4, 8),
+    total_ops: int = 24_000,
+) -> Dict[int, Dict[str, float]]:
+    """Fig. 10: {threads: {benchmark: efficiency}}.
+
+    Paper: averages 48.37 / 50.51 / 52.86 % for 2/4/8 threads; >60 % for
+    MG, GRAPPOLO, SG, SP and SPARSELU at 8 threads.
+    """
+    out: Dict[int, Dict[str, float]] = {}
+    for t in thread_counts:
+        row: Dict[str, float] = {}
+        for name in benchmark_names():
+            res = dispatch(name, "mac", threads=t, ops_per_thread=total_ops // t)
+            row[name] = res.stats.coalescing_efficiency
+        out[t] = row
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 11 — ARQ size sweep
+# ---------------------------------------------------------------------------
+
+
+def fig11_arq_sweep(
+    entries: Sequence[int] = (8, 16, 32, 64, 128, 256),
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[int, float]:
+    """Fig. 11: suite-average efficiency per ARQ entry count.
+
+    Paper: 37.58 % -> 56.04 % from 8 to 256 entries with diminishing
+    returns (+22.11 / +15.72 / +5.53 % relative at 16/32/64).
+    """
+    out: Dict[int, float] = {}
+    for n in entries:
+        cfg = MACConfig(arq_entries=n)
+        effs = [
+            dispatch(name, "mac", threads, ops_per_thread, config=cfg)
+            .stats.coalescing_efficiency
+            for name in benchmark_names()
+        ]
+        out[n] = statistics.mean(effs)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 12 — bank-conflict reduction
+# ---------------------------------------------------------------------------
+
+
+def fig12_bank_conflicts(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, Tuple[int, int]]:
+    """Fig. 12: {benchmark: (conflicts without MAC, with MAC)}.
+
+    The paper reports absolute reductions at its (much larger) trace
+    scale — avg ~644 M per benchmark; the *shape* to match is that every
+    benchmark reduces conflicts, most dramatically the high-locality
+    ones (NQUEENS, SP).
+    """
+    out: Dict[str, Tuple[int, int]] = {}
+    for name in benchmark_names():
+        res = compare_policies(name, threads, ops_per_thread)
+        out[name] = (res["raw"].bank_conflicts, res["mac"].bank_conflicts)
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 13 — bandwidth efficiency of coalesced vs raw traffic
+# ---------------------------------------------------------------------------
+
+
+def fig13_bandwidth_efficiency(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, float]:
+    """Fig. 13: per-benchmark coalesced bandwidth efficiency.
+
+    Raw 16 B traffic is 33.33 % by construction; paper average for
+    coalesced traffic is 70.35 %.
+    """
+    out: Dict[str, float] = {}
+    for name in benchmark_names():
+        res = dispatch(name, "mac", threads, ops_per_thread)
+        out[name] = res.stats.coalesced_bandwidth_efficiency
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 14 — bandwidth saved
+# ---------------------------------------------------------------------------
+
+
+def fig14_bandwidth_saving(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 14: control bytes saved by aggregation per benchmark.
+
+    Returns Fig. 14's control-only saving (32 B per eliminated request),
+    absolute at our trace scale and per raw request (scale-free), plus
+    the net-wire saving that additionally charges overfetched payload.
+    Paper: 22.76 GB average at paper-scale traces.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name in benchmark_names():
+        res = dispatch(name, "mac", threads, ops_per_thread)
+        saved = res.stats.bandwidth_saved_bytes()
+        wire = res.stats.wire_saved_bytes()
+        raw_n = res.stats.memory_raw_requests
+        out[name] = {
+            "saved_bytes": float(saved),
+            "saved_bytes_per_request": saved / raw_n if raw_n else 0.0,
+            "wire_saved_bytes_per_request": wire / raw_n if raw_n else 0.0,
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 15 — targets per ARQ entry
+# ---------------------------------------------------------------------------
+
+
+def fig15_targets_per_entry(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, Tuple[float, int]]:
+    """Fig. 15: {benchmark: (avg targets/packet, max)}.
+
+    Paper: average 2.13, maximum 3.14, hardware limit 12.
+    """
+    out: Dict[str, Tuple[float, int]] = {}
+    for name in benchmark_names():
+        res = dispatch(name, "mac", threads, ops_per_thread)
+        out[name] = (
+            res.stats.avg_targets_per_packet,
+            res.stats.max_targets_per_packet,
+        )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Figure 16 — space overhead
+# ---------------------------------------------------------------------------
+
+
+def fig16_space_overhead(
+    entries: Sequence[int] = (8, 16, 32, 64, 128, 256),
+) -> Dict[int, int]:
+    """Fig. 16: ARQ bytes per entry count; paper: 512 B -> 16 KB, and
+    2062 B total for the 32-entry MAC."""
+    return {n: mac_area(MACConfig(arq_entries=n)).arq_bytes for n in entries}
+
+
+# ---------------------------------------------------------------------------
+# Figure 17 — memory-system speedup
+# ---------------------------------------------------------------------------
+
+
+def fig17_speedup(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, Dict[str, float]]:
+    """Fig. 17: per-benchmark memory-system latency reduction.
+
+    The paper replays each transaction stream through HMCSim with and
+    without MAC and reports the latency reduction: 60.73 % on average,
+    >70 % for MG, GRAPPOLO, SG and SPARSELU.  We report both makespan
+    and mean-latency reductions.
+    """
+    out: Dict[str, Dict[str, float]] = {}
+    for name in benchmark_names():
+        res = compare_policies(name, threads, ops_per_thread)
+        raw, mac = res["raw"], res["mac"]
+        out[name] = {
+            "makespan_speedup": metrics.speedup(raw.makespan, mac.makespan),
+            "latency_speedup": metrics.speedup(
+                max(raw.mean_latency, 1e-9), mac.mean_latency
+            ),
+        }
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Table 1 — configuration validation
+# ---------------------------------------------------------------------------
+
+
+def table1_config() -> Dict[str, object]:
+    """Table 1 as realized by this library's default configuration."""
+    sysc = PAPER_SYSTEM
+    return {
+        "ISA": "RV64IMAFDC (trace-level)",
+        "cores": sysc.cores,
+        "cpu_freq_ghz": sysc.cpu_freq_ghz,
+        "spm_bytes_per_core": sysc.spm_bytes,
+        "spm_latency_ns": sysc.spm_latency_ns,
+        "hmc_links": sysc.hmc_links,
+        "hmc_capacity_gb": sysc.hmc_capacity_gb,
+        "hmc_row_bytes": sysc.mac.row_bytes,
+        "hmc_latency_ns": sysc.hmc_latency_ns,
+        "arq_entries": sysc.mac.arq_entries,
+        "arq_entry_bytes": sysc.mac.arq_entry_bytes,
+    }
+
+
+# ---------------------------------------------------------------------------
+# Ablation — section 2.3.2's fixed-256 B strawman
+# ---------------------------------------------------------------------------
+
+
+def ablation_fixed_256(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+) -> Dict[str, Dict[str, float]]:
+    """Quantifies section 2.3.2: always-256 B packets look great on
+    Eq. 1 but waste most of the transferred data on irregular traffic."""
+    from repro.core.stats import MACStats
+    from repro.trace.record import to_requests
+
+    out: Dict[str, Dict[str, float]] = {}
+    for name in benchmark_names():
+        trace = cached_trace(name, threads, ops_per_thread)
+        st = MACStats()
+        pkts = dispatch_fixed(list(to_requests(trace)), stats=st)
+        mac_res = dispatch(name, "mac", threads, ops_per_thread)
+        out[name] = {
+            "fixed_bandwidth_eff": st.coalesced_bandwidth_efficiency,
+            "fixed_useful_fraction": useful_data_fraction(pkts),
+            "mac_bandwidth_eff": mac_res.stats.coalesced_bandwidth_efficiency,
+            "mac_useful_fraction": useful_data_fraction(mac_res.packets),
+        }
+    return out

@@ -1,0 +1,92 @@
+"""Evaluation metrics — Equations 1-3 and the derived quantities.
+
+Every number reported in section 5.3 derives from these definitions:
+
+* :func:`bandwidth_efficiency` — Eq. 1 (Fig. 3, Fig. 13);
+* :func:`coalescing_efficiency` — Eq. 3 under the reduction-fraction
+  reading (Figs. 10/11; see DESIGN.md section 3);
+* :func:`requests_per_cycle` — Eq. 2 (Fig. 9);
+* wire-traffic helpers for bandwidth saving (Fig. 14).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence
+
+from repro.core.packet import CONTROL_BYTES_PER_ACCESS, CoalescedRequest
+
+#: HMC 2.1 request payload sizes (B) the protocol supports.
+HMC_REQUEST_SIZES = (16, 32, 48, 64, 80, 96, 112, 128, 256)
+
+
+def bandwidth_efficiency(request_bytes: int, overhead_bytes: int = CONTROL_BYTES_PER_ACCESS) -> float:
+    """Eq. 1: payload fraction of a request/response exchange.
+
+    >>> round(bandwidth_efficiency(16), 4)
+    0.3333
+    >>> round(bandwidth_efficiency(256), 4)
+    0.8889
+    """
+    if request_bytes <= 0:
+        raise ValueError("request size must be positive")
+    if overhead_bytes < 0:
+        raise ValueError("overhead must be non-negative")
+    return request_bytes / (request_bytes + overhead_bytes)
+
+
+def control_overhead_fraction(request_bytes: int, overhead_bytes: int = CONTROL_BYTES_PER_ACCESS) -> float:
+    """1 - Eq. 1: the control fraction plotted in Fig. 3."""
+    return 1.0 - bandwidth_efficiency(request_bytes, overhead_bytes)
+
+
+def coalescing_efficiency(raw_requests: int, coalesced_requests: int) -> float:
+    """Eq. 3 (reduction reading): fraction of raw requests eliminated."""
+    if raw_requests < 0 or coalesced_requests < 0:
+        raise ValueError("counts must be non-negative")
+    if coalesced_requests > raw_requests:
+        raise ValueError("cannot emit more packets than raw requests")
+    if raw_requests == 0:
+        return 0.0
+    return 1.0 - coalesced_requests / raw_requests
+
+
+def requests_per_cycle(
+    ipc: float, rpi: float, cores: int, mem_access_rate: float
+) -> float:
+    """Eq. 2: raw requests per cycle offered to the MAC."""
+    if min(ipc, rpi, mem_access_rate) <= 0 or cores < 1:
+        raise ValueError("all factors must be positive")
+    return ipc * rpi * cores * mem_access_rate
+
+
+def mean_bandwidth_efficiency(packets: Sequence[CoalescedRequest]) -> float:
+    """Traffic-weighted Eq. 1 over a packet stream (Fig. 13)."""
+    payload = sum(p.size for p in packets)
+    wire = payload + CONTROL_BYTES_PER_ACCESS * len(packets)
+    return payload / wire if wire else 0.0
+
+
+def wire_bytes(packets: Sequence[CoalescedRequest]) -> int:
+    """Total link bytes: payload + 32 B control per packet."""
+    return sum(p.size for p in packets) + CONTROL_BYTES_PER_ACCESS * len(packets)
+
+
+def bandwidth_saved(
+    raw_packets: Sequence[CoalescedRequest], coalesced: Sequence[CoalescedRequest]
+) -> int:
+    """Wire bytes saved by coalescing (Fig. 14); negative = regression."""
+    return wire_bytes(raw_packets) - wire_bytes(coalesced)
+
+
+def size_histogram(packets: Sequence[CoalescedRequest]) -> Dict[int, int]:
+    hist: Dict[int, int] = {}
+    for p in packets:
+        hist[p.size] = hist.get(p.size, 0) + 1
+    return hist
+
+
+def speedup(latency_without: float, latency_with: float) -> float:
+    """Fig. 17's gain metric: fraction by which latency is reduced."""
+    if latency_without <= 0:
+        raise ValueError("baseline latency must be positive")
+    return 1.0 - latency_with / latency_without

@@ -1,0 +1,148 @@
+"""Shared experiment machinery: trace generation, dispatch, device replay.
+
+Each figure driver in :mod:`repro.eval.experiments` composes three steps:
+generate the benchmark trace (cached per process), dispatch it through a
+coalescing policy (MAC window engine, MAC cycle engine, or a baseline),
+and optionally replay the packet stream through a fresh HMC device with
+realistic pacing (raw requests at the ARQ's 1-accept/cycle rate, MAC
+packets at the builder's 0.5/cycle issue rate, section 4.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.direct import dispatch_raw
+from repro.core.config import MACConfig
+from repro.core.flit_table import FlitTablePolicy
+from repro.core.mac import MAC, coalesce_trace_fast
+from repro.core.packet import CoalescedRequest
+from repro.core.stats import MACStats
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+from repro.hmc.stats import HMCStats
+from repro.trace.record import TraceRecord, to_requests
+from repro.workloads.registry import make
+
+#: Default trace sizing for the figure benches: large enough for steady
+#: state, small enough for second-scale pure-Python runs.
+DEFAULT_THREADS = 8
+DEFAULT_OPS_PER_THREAD = 3000
+
+
+@lru_cache(maxsize=128)
+def cached_trace(
+    name: str,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    seed: int = 2019,
+) -> Tuple[TraceRecord, ...]:
+    """Deterministic benchmark trace, cached per process."""
+    wl = make(name, seed=seed)
+    return tuple(wl.generate(threads=threads, ops_per_thread=ops_per_thread))
+
+
+@dataclass
+class DispatchResult:
+    """Packets + MAC-side stats of one dispatch policy over one trace."""
+
+    name: str
+    policy: str
+    packets: List[CoalescedRequest]
+    stats: MACStats
+
+
+def dispatch(
+    name: str,
+    policy: str = "mac",
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    config: Optional[MACConfig] = None,
+    seed: int = 2019,
+    flit_policy: FlitTablePolicy = FlitTablePolicy.SPAN,
+) -> DispatchResult:
+    """Run one benchmark trace through a dispatch policy.
+
+    policy: "mac" (window engine), "mac-cycle" (cycle engine), "raw"
+    (direct 16 B dispatch).
+    """
+    trace = cached_trace(name, threads, ops_per_thread, seed)
+    requests = list(to_requests(trace))
+    stats = MACStats()
+    if policy == "mac":
+        packets = coalesce_trace_fast(requests, config, flit_policy, stats)
+    elif policy == "mac-cycle":
+        mac = MAC(config, policy=flit_policy)
+        mac.stats = stats
+        mac.aggregator.stats = stats
+        packets = mac.process(requests)
+    elif policy == "raw":
+        packets = dispatch_raw(requests, config, stats)
+    else:
+        raise ValueError(f"unknown policy {policy!r}")
+    return DispatchResult(name, policy, packets, stats)
+
+
+@dataclass
+class ReplayResult:
+    """Device-side outcome of replaying one packet stream."""
+
+    makespan: int
+    mean_latency: float
+    bank_conflicts: int
+    activations: int
+    wire_bytes: int
+    device: HMCDevice
+
+
+def replay_on_device(
+    packets: Sequence[CoalescedRequest],
+    cycles_per_packet: float = 0.0,
+    hmc: Optional[HMCConfig] = None,
+) -> ReplayResult:
+    """Feed packets into a fresh device at the MAC's issue cadence.
+
+    With ``cycles_per_packet`` = 0 (default) the MAC's fixed issue rate
+    applies: one packet every ``pop_interval`` = 2 cycles (section 4.4).
+    A positive value forces another cadence (1.0 models raw dispatch at
+    the interface's 1-request/cycle accept rate).
+
+    Note the structural consequence, visible on low-coalescing traces
+    (e.g. IS): a MAC that eliminates fewer than half the raw requests
+    emits for longer than raw dispatch would, because its issue port
+    runs at half the accept rate — see EXPERIMENTS.md (Fig. 17 notes).
+    """
+    if cycles_per_packet < 0:
+        raise ValueError("cadence must be non-negative")
+    dev = HMCDevice(hmc)
+    t = 0.0
+    for pkt in packets:
+        dev.submit(pkt, int(t))
+        t += cycles_per_packet if cycles_per_packet > 0 else 2.0
+    st = dev.stats
+    return ReplayResult(
+        makespan=st.makespan,
+        mean_latency=st.mean_latency,
+        bank_conflicts=dev.bank_conflicts,
+        activations=dev.activations,
+        wire_bytes=st.wire_bytes,
+        device=dev,
+    )
+
+
+def compare_policies(
+    name: str,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    config: Optional[MACConfig] = None,
+    seed: int = 2019,
+) -> Dict[str, ReplayResult]:
+    """Raw vs MAC replay of one benchmark on identical devices."""
+    raw = dispatch(name, "raw", threads, ops_per_thread, config, seed)
+    mac = dispatch(name, "mac", threads, ops_per_thread, config, seed)
+    return {
+        "raw": replay_on_device(raw.packets, cycles_per_packet=1.0),
+        "mac": replay_on_device(mac.packets),
+    }

@@ -1,0 +1,122 @@
+"""Grid parameter sweeps over MAC configurations.
+
+A small design-space-exploration utility: declare axes (MACConfig field
+-> list of values), run every combination of the grid over one or more
+workload traces through the window engine, and get a tidy result table
+back.  Used by the design-space example and handy for ad-hoc studies::
+
+    results = sweep_grid(
+        {"arq_entries": [8, 32, 128], "row_bytes": [256, 1024]},
+        workloads=("MG", "IS"),
+    )
+    print(format_sweep(results))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.config import MACConfig
+from repro.core.flit_table import FlitTablePolicy
+from repro.core.mac import coalesce_trace_fast
+from repro.core.stats import MACStats
+from repro.trace.record import to_requests
+
+from .report import format_table
+from .runner import cached_trace
+
+_VALID_FIELDS = {f.name for f in dataclasses.fields(MACConfig)}
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPoint:
+    """One grid point's outcome for one workload."""
+
+    params: Tuple[Tuple[str, Any], ...]
+    workload: str
+    efficiency: float
+    packets: int
+    bandwidth_efficiency: float
+    avg_targets: float
+
+    def param(self, name: str) -> Any:
+        return dict(self.params)[name]
+
+
+def sweep_grid(
+    axes: Dict[str, Sequence[Any]],
+    workloads: Sequence[str] = ("SG",),
+    threads: int = 4,
+    ops_per_thread: int = 1000,
+    base: Optional[MACConfig] = None,
+    policy: FlitTablePolicy = FlitTablePolicy.SPAN,
+    seed: int = 2019,
+) -> List[SweepPoint]:
+    """Run the full cartesian grid; returns one SweepPoint per cell."""
+    if not axes:
+        raise ValueError("need at least one sweep axis")
+    unknown = set(axes) - _VALID_FIELDS
+    if unknown:
+        raise ValueError(f"unknown MACConfig fields: {sorted(unknown)}")
+    base_kwargs = (
+        {f.name: getattr(base, f.name) for f in dataclasses.fields(MACConfig)}
+        if base is not None
+        else {}
+    )
+    names = list(axes)
+    out: List[SweepPoint] = []
+    for combo in itertools.product(*(axes[n] for n in names)):
+        kwargs = dict(base_kwargs)
+        kwargs.update(dict(zip(names, combo)))
+        # Keep dependent fields consistent when only the row size moves.
+        if "row_bytes" in kwargs and "max_request_bytes" not in axes:
+            kwargs["max_request_bytes"] = min(
+                kwargs.get("max_request_bytes", 256), kwargs["row_bytes"]
+            ) if kwargs["row_bytes"] < 256 else kwargs["row_bytes"]
+        cfg = MACConfig(**kwargs)
+        for name in workloads:
+            trace = cached_trace(name, threads, ops_per_thread, seed)
+            stats = MACStats()
+            coalesce_trace_fast(list(to_requests(trace)), cfg, policy, stats)
+            out.append(
+                SweepPoint(
+                    params=tuple(zip(names, combo)),
+                    workload=name,
+                    efficiency=stats.coalescing_efficiency,
+                    packets=stats.coalesced_packets,
+                    bandwidth_efficiency=stats.coalesced_bandwidth_efficiency,
+                    avg_targets=stats.avg_targets_per_packet,
+                )
+            )
+    return out
+
+
+def format_sweep(points: Sequence[SweepPoint]) -> str:
+    """Result table for a sweep (one row per grid cell x workload)."""
+    if not points:
+        return "(empty sweep)"
+    axis_names = [n for n, _ in points[0].params]
+    headers = axis_names + ["workload", "efficiency", "bw eff", "tgt/pkt"]
+    rows = [
+        [dict(p.params)[n] for n in axis_names]
+        + [p.workload, p.efficiency, p.bandwidth_efficiency, p.avg_targets]
+        for p in points
+    ]
+    return format_table(headers, rows, title="MAC design-space sweep")
+
+
+def best_point(
+    points: Sequence[SweepPoint], metric: str = "efficiency"
+) -> SweepPoint:
+    """Grid cell with the best suite-average of ``metric``."""
+    if not points:
+        raise ValueError("empty sweep")
+    by_params: Dict[Tuple, List[SweepPoint]] = {}
+    for p in points:
+        by_params.setdefault(p.params, []).append(p)
+    def score(items: List[SweepPoint]) -> float:
+        return sum(getattr(p, metric) for p in items) / len(items)
+    best = max(by_params.values(), key=score)
+    return best[0]

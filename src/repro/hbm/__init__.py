@@ -1,0 +1,12 @@
+"""HBM substrate — the section-4.3 applicability target of the MAC.
+
+Same closed-page 3D stack concept as the HMC, different interface:
+burst-train transfers on per-pseudo-channel DDR-style buses with a
+separate command/address path instead of packetized FLITs.
+"""
+
+from .config import HBMConfig
+from .device import HBMDevice, HBMStats
+from .timing import HBMTiming
+
+__all__ = ["HBMConfig", "HBMDevice", "HBMStats", "HBMTiming"]

@@ -1,0 +1,72 @@
+"""HBM stack configuration (paper section 4.3).
+
+HBM differs from HMC in protocol, not in concept: it is a 3D stack with
+a wide parallel interface running a DDR-style burst protocol — BL4 on a
+per-pseudo-channel 64-bit bus gives a 32 B access granularity (two
+FLITs' worth), rows are 1 KB, and commands travel on a separate
+command/address bus rather than as in-band packet headers.  Section 4.3
+argues the MAC applies unchanged: only the FLIT map/table widen (64
+FLITs per 1 KB row) and the emitted transactions become burst trains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import HBMTiming
+
+
+@dataclass(frozen=True, slots=True)
+class HBMConfig:
+    """Geometry of one HBM stack as seen by a single host port."""
+
+    capacity_bytes: int = 8 << 30
+    #: Pseudo-channels: HBM2 exposes 8 channels x 2 pseudo-channels.
+    pseudo_channels: int = 16
+    banks_per_channel: int = 16
+    row_bytes: int = 1 << 10  # 1 KB (section 2.2.1 / 4.3)
+    #: Access granularity: BL4 x 64-bit bus = 32 B.
+    burst_bytes: int = 32
+    timing: HBMTiming = field(default_factory=HBMTiming)
+
+    def __post_init__(self) -> None:
+        if self.pseudo_channels & (self.pseudo_channels - 1):
+            raise ValueError("pseudo-channel count must be a power of two")
+        if self.banks_per_channel & (self.banks_per_channel - 1):
+            raise ValueError("bank count must be a power of two")
+        if self.row_bytes & (self.row_bytes - 1):
+            raise ValueError("row size must be a power of two")
+        if self.row_bytes % self.burst_bytes:
+            raise ValueError("rows must hold whole bursts")
+
+    @property
+    def row_offset_bits(self) -> int:
+        return (self.row_bytes - 1).bit_length()
+
+    @property
+    def channel_bits(self) -> int:
+        return (self.pseudo_channels - 1).bit_length()
+
+    @property
+    def bank_bits(self) -> int:
+        return (self.banks_per_channel - 1).bit_length()
+
+    def channel_of(self, addr: int) -> int:
+        row = addr >> self.row_offset_bits
+        folded = row ^ (row >> self.channel_bits)
+        return folded & (self.pseudo_channels - 1)
+
+    def bank_of(self, addr: int) -> int:
+        upper = addr >> (self.row_offset_bits + self.channel_bits)
+        folded = upper ^ (upper >> self.bank_bits)
+        return folded & (self.banks_per_channel - 1)
+
+    def dram_row_of(self, addr: int) -> int:
+        return addr >> (self.row_offset_bits + self.channel_bits + self.bank_bits)
+
+    def bursts(self, size: int) -> int:
+        """Data-bus bursts needed for ``size`` bytes (2-32 for the MAC's
+        64 B - 1 KB coalesced requests, matching section 4.3)."""
+        if size < 1:
+            raise ValueError("size must be positive")
+        return -(-size // self.burst_bytes)

@@ -1,0 +1,49 @@
+"""HBM2-class timing at the 3.3 GHz node clock."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True, slots=True)
+class HBMTiming:
+    """Cycle counts for one pseudo-channel.
+
+    HBM2 runs ~2 Gbps/pin; a 64-bit pseudo-channel moves a 32 B burst
+    in ~16 ns *bus* time but pipelined bursts stream back to back at
+    ~2 ns each at the node clock granularity used here.  DRAM core
+    timings match the HMC stack (same DRAM technology).
+    """
+
+    t_activate: int = 45
+    t_column: int = 45
+    t_precharge: int = 45
+    #: Data-bus occupancy per 32 B burst.
+    cycles_per_burst: int = 7
+    #: Command-bus occupancy per command (separate CA bus: commands do
+    #: not consume data-bus bandwidth — the protocol-level difference
+    #: from the HMC's in-band 32 B control overhead).
+    t_cmd: int = 2
+    #: Interposer + PHY latency each way.
+    io_latency: int = 40
+
+    def __post_init__(self) -> None:
+        for name in (
+            "t_activate",
+            "t_column",
+            "t_precharge",
+            "cycles_per_burst",
+            "t_cmd",
+            "io_latency",
+        ):
+            if getattr(self, name) < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    def bank_occupancy(self, bursts: int) -> int:
+        """Closed-page access occupancy (ACT + column + data + PRE)."""
+        return (
+            self.t_activate
+            + self.t_column
+            + bursts * self.cycles_per_burst
+            + self.t_precharge
+        )

@@ -1,0 +1,35 @@
+"""Cycle-level model of a Hybrid Memory Cube device (HMCSim stand-in).
+
+Models the paper's 8 GB, 4-link HMC (Table 1): 32 vaults x 16 banks with
+256 B closed-page rows, a packetized FLIT protocol with 32 B of control
+per access, serialized full-duplex links and a logic-layer crossbar.
+"""
+
+from .bank import Bank
+from .config import HMCConfig, PAPER_HMC
+from .crossbar import Crossbar
+from .device import HMCDevice
+from .link import Link, LinkChannel
+from .packet import HMCCommand, WirePacket, encode, packet_crc, verify_crc
+from .stats import HMCStats
+from .timing import HMCTiming
+from .vault import Vault, VaultStats
+
+__all__ = [
+    "Bank",
+    "Crossbar",
+    "HMCCommand",
+    "HMCConfig",
+    "HMCDevice",
+    "HMCStats",
+    "HMCTiming",
+    "Link",
+    "LinkChannel",
+    "PAPER_HMC",
+    "Vault",
+    "VaultStats",
+    "WirePacket",
+    "encode",
+    "packet_crc",
+    "verify_crc",
+]

@@ -1,0 +1,57 @@
+"""Closed-page DRAM bank model (paper section 2.2.1).
+
+Under the HMC's closed-page policy every access activates its row, bursts
+the columns, and precharges — the bank is busy for the whole sequence and
+any request arriving meanwhile suffers a *bank conflict* and waits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import HMCTiming
+
+
+@dataclass(slots=True)
+class Bank:
+    """Busy-time bookkeeping for one DRAM bank."""
+
+    timing: HMCTiming
+    #: Cycle at which the bank can accept its next activation.
+    ready_cycle: int = 0
+    accesses: int = 0
+    activations: int = 0
+    conflicts: int = 0
+    busy_cycles: int = 0
+    #: Last row activated — closed-page means it never stays open, but
+    #: tracking it lets tests assert that row-buffer hits are impossible.
+    last_row: int = -1
+
+    def access(self, arrival: int, dram_row: int, columns: int) -> int:
+        """Serve one closed-page access arriving at ``arrival``.
+
+        Returns the cycle at which the burst data is available (the
+        precharge completes afterwards but is off the critical path of
+        the requester — it only delays the *next* access).
+        """
+        if arrival < 0:
+            raise ValueError("arrival cycle must be non-negative")
+        if arrival < self.ready_cycle:
+            # Bank busy: conflict, wait for the in-flight access + precharge.
+            self.conflicts += 1
+            start = self.ready_cycle
+        else:
+            start = arrival
+        t = self.timing
+        data_ready = start + t.t_activate + t.t_column + t.burst_cycles(columns)
+        occupancy = t.bank_occupancy(columns)
+        self.ready_cycle = start + occupancy
+        self.busy_cycles += occupancy
+        self.accesses += 1
+        self.activations += 1  # closed page: every access activates
+        self.last_row = dram_row
+        return data_ready
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.conflicts / self.accesses if self.accesses else 0.0

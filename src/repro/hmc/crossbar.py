@@ -1,0 +1,31 @@
+"""Link-to-vault crossbar of the HMC logic layer.
+
+Modelled as a fixed-latency switch with per-vault output contention folded
+into the vault front-end (which is single-issue).  The crossbar keeps its
+own traffic counters so NoC-style utilization can be reported.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .timing import HMCTiming
+
+
+@dataclass(slots=True)
+class Crossbar:
+    """Fixed-latency link<->vault switch."""
+
+    timing: HMCTiming
+    forwarded: int = 0
+    returned: int = 0
+
+    def to_vault(self, cycle: int) -> int:
+        """Deliver a request from a link to its vault."""
+        self.forwarded += 1
+        return cycle + self.timing.crossbar_latency
+
+    def to_link(self, cycle: int) -> int:
+        """Deliver a response from a vault to its link."""
+        self.returned += 1
+        return cycle + self.timing.crossbar_latency

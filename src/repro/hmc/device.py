@@ -1,0 +1,154 @@
+"""Top-level HMC device model (the HMCSim-3.0 stand-in).
+
+An event-timed queueing model: each resource on the path of a request —
+link request channel, crossbar, vault front-end, DRAM bank, crossbar,
+link response channel — keeps a next-free cycle; a request submitted at
+its arrival cycle threads through them in order and the device returns a
+:class:`repro.core.packet.CoalescedResponse` stamped with the completion
+cycle.  Requests must be submitted in non-decreasing arrival order (the
+MAC emits them that way); this keeps the model simple and fast while
+preserving queueing, serialization and bank-conflict behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.packet import CoalescedRequest, CoalescedResponse
+
+from .config import HMCConfig
+from .crossbar import Crossbar
+from .link import Link
+from .packet import HMCCommand, WirePacket, encode
+from .stats import HMCStats
+from .vault import Vault
+
+
+class HMCDevice:
+    """One simulated HMC cube.
+
+    Example::
+
+        dev = HMCDevice()
+        resp = dev.submit(packet, arrival_cycle=100)
+        assert resp.complete_cycle > 100
+    """
+
+    def __init__(self, config: Optional[HMCConfig] = None) -> None:
+        self.config = config or HMCConfig()
+        self.links: List[Link] = [
+            Link(i, self.config.timing) for i in range(self.config.links)
+        ]
+        self.crossbar = Crossbar(self.config.timing)
+        self.vaults: List[Vault] = [
+            Vault(i, self.config) for i in range(self.config.vaults)
+        ]
+        self.stats = HMCStats()
+        self._last_arrival = 0
+        self._rr_next = 0
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, request: CoalescedRequest, arrival: int) -> CoalescedResponse:
+        """Serve one coalesced request arriving at cycle ``arrival``.
+
+        Returns the completed response; all resource bookkeeping (link
+        occupancy, bank busy windows, conflicts) is updated as a side
+        effect.
+        """
+        if arrival < self._last_arrival:
+            raise ValueError("requests must be submitted in arrival order")
+        self._last_arrival = arrival
+
+        wire = encode(request, self.config)
+        link = self._pick_link(arrival)
+
+        # Host -> device: serialize the request packet, cross the fabric.
+        at_device = link.request.transmit(arrival, wire.request_flits)
+        at_vault = self.crossbar.to_vault(at_device)
+
+        # Vault + bank service (closed-page).
+        vault = self.vaults[wire.vault]
+        conflicts_before = vault.banks[wire.bank].conflicts
+        data_ready = vault.access(
+            at_vault, wire.bank, wire.dram_row, wire.columns, request.is_write
+        )
+        conflicts_delta = vault.banks[wire.bank].conflicts - conflicts_before
+
+        # Device -> host: response packet back through crossbar + link.
+        at_link = self.crossbar.to_link(data_ready)
+        complete = link.response.transmit(at_link, wire.response_flits)
+
+        self._record(request, wire, arrival, complete, conflicts_delta)
+        return CoalescedResponse(
+            request=request,
+            complete_cycle=complete,
+            service_cycles=complete - arrival,
+        )
+
+    def submit_stream(
+        self, requests: List[CoalescedRequest]
+    ) -> List[CoalescedResponse]:
+        """Serve a list of requests at their ``issue_cycle`` stamps."""
+        ordered = sorted(requests, key=lambda r: r.issue_cycle)
+        return [self.submit(r, r.issue_cycle) for r in ordered]
+
+    # -- internals ---------------------------------------------------------------
+
+    def _pick_link(self, arrival: int) -> Link:
+        """Round-robin across links, skipping ahead to a less-loaded one.
+
+        The host interleaves packets over all lanes; pure min-ready
+        selection would pile every packet onto link 0 whenever all links
+        are instantaneously free, starving the other three of responses.
+        Round-robin spreads request *and* response serialization load.
+        """
+        n = len(self.links)
+        start = self._rr_next
+        self._rr_next = (start + 1) % n
+        best = self.links[start]
+        best_load = best.request.ready_cycle + best.response.ready_cycle
+        for i in range(1, n):
+            cand = self.links[(start + i) % n]
+            load = cand.request.ready_cycle + cand.response.ready_cycle
+            if load + 64 < best_load:  # switch only on clear imbalance
+                best, best_load = cand, load
+        return best
+
+    def _record(
+        self,
+        request: CoalescedRequest,
+        wire: WirePacket,
+        arrival: int,
+        complete: int,
+        conflicts_delta: int,
+    ) -> None:
+        st = self.stats
+        st.record(arrival, complete, request.size, conflicts_delta)
+        st.wire_flits += wire.total_flits
+        st.activations += 1
+        if wire.command is HMCCommand.RD:
+            st.reads += 1
+        elif wire.command is HMCCommand.WR:
+            st.writes += 1
+        else:
+            st.atomics += 1
+
+    # -- aggregates ----------------------------------------------------------------
+
+    @property
+    def bank_conflicts(self) -> int:
+        return sum(v.bank_conflicts for v in self.vaults)
+
+    @property
+    def activations(self) -> int:
+        return sum(v.activations for v in self.vaults)
+
+    def unloaded_read_latency(self, size: int = 16) -> int:
+        """Analytic latency of one isolated read (Table 1 calibration)."""
+        cfg = self.config
+        return cfg.timing.unloaded_read_latency(
+            cfg.request_flits(size, False),
+            cfg.response_flits(size, False),
+            cfg.columns(size),
+        )

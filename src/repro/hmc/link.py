@@ -1,0 +1,58 @@
+"""Serialized full-duplex HMC link model.
+
+Each link is modelled as two independent serialization channels (request
+and response directions) with a fixed flight latency.  Serializing one
+16 B FLIT costs ``cycles_per_flit``; a packet occupies the channel for
+its full FLIT count, so link bandwidth is an explicit bottleneck under
+heavy small-packet traffic — the effect the MAC exists to mitigate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .timing import HMCTiming
+
+
+@dataclass(slots=True)
+class LinkChannel:
+    """One direction of one link."""
+
+    timing: HMCTiming
+    ready_cycle: int = 0
+    flits: int = 0
+    packets: int = 0
+    busy_cycles: int = 0
+
+    def transmit(self, arrival: int, nflits: int) -> int:
+        """Serialize ``nflits`` starting no earlier than ``arrival``.
+
+        Returns the cycle the last FLIT lands on the far side (ser time +
+        flight latency).
+        """
+        if nflits < 1:
+            raise ValueError("packets carry at least one FLIT")
+        start = max(arrival, self.ready_cycle)
+        ser = nflits * self.timing.cycles_per_flit
+        self.ready_cycle = start + ser
+        self.flits += nflits
+        self.packets += 1
+        self.busy_cycles += ser
+        return start + ser + self.timing.link_latency
+
+
+class Link:
+    """Full-duplex link: independent request/response channels."""
+
+    def __init__(self, index: int, timing: HMCTiming) -> None:
+        self.index = index
+        self.request = LinkChannel(timing)
+        self.response = LinkChannel(timing)
+
+    @property
+    def wire_flits(self) -> int:
+        return self.request.flits + self.response.flits
+
+    def earliest_request_slot(self, arrival: int) -> int:
+        """When a request arriving at ``arrival`` could start serializing."""
+        return max(arrival, self.request.ready_cycle)

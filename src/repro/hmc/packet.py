@@ -1,0 +1,104 @@
+"""Wire-level view of HMC packets (paper section 2.2.2).
+
+The device model consumes :class:`repro.core.packet.CoalescedRequest`
+objects; this module computes their wire representation — FLIT counts,
+header/tail control overhead, CRC-carrying tail — and defines the
+response record returned by the device.
+"""
+
+from __future__ import annotations
+
+import enum
+import zlib
+from dataclasses import dataclass
+
+from repro.core.packet import CoalescedRequest
+from repro.core.request import RequestType
+
+from .config import HMCConfig
+
+
+class HMCCommand(enum.Enum):
+    """Subset of HMC 2.1 request commands the model distinguishes."""
+
+    RD = "read"
+    WR = "write"
+    ATOMIC = "atomic"
+
+    @classmethod
+    def for_request(cls, req: CoalescedRequest) -> "HMCCommand":
+        if req.rtype is RequestType.STORE:
+            return cls.WR
+        if req.rtype is RequestType.ATOMIC:
+            return cls.ATOMIC
+        return cls.RD
+
+
+@dataclass(frozen=True, slots=True)
+class WirePacket:
+    """FLIT-level accounting of one request/response exchange."""
+
+    command: HMCCommand
+    payload_bytes: int
+    request_flits: int
+    response_flits: int
+    vault: int
+    bank: int
+    dram_row: int
+    columns: int
+
+    @property
+    def total_flits(self) -> int:
+        return self.request_flits + self.response_flits
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.total_flits * 16
+
+    @property
+    def control_bytes(self) -> int:
+        return self.wire_bytes - self.payload_bytes
+
+
+def encode(req: CoalescedRequest, config: HMCConfig) -> WirePacket:
+    """Compute the wire footprint of one coalesced request."""
+    if req.size < config.min_request_bytes and req.rtype is not RequestType.ATOMIC:
+        # HMC accepts 16 B as its smallest transaction; the MAC's bypass
+        # packets are exactly that.
+        if req.size != config.flit_bytes:
+            raise ValueError(f"unsupported request size {req.size}")
+    if req.size > config.max_request_bytes:
+        raise ValueError(
+            f"request of {req.size} B exceeds protocol max {config.max_request_bytes} B"
+        )
+    if req.addr % config.flit_bytes:
+        raise ValueError("requests must be FLIT aligned")
+    row_base = req.addr & ~(config.row_bytes - 1)
+    if req.addr + req.size > row_base + config.row_bytes:
+        raise ValueError("request crosses a DRAM row boundary")
+    cmd = HMCCommand.for_request(req)
+    is_write = cmd is HMCCommand.WR
+    return WirePacket(
+        command=cmd,
+        payload_bytes=req.size,
+        request_flits=config.request_flits(req.size, is_write),
+        response_flits=config.response_flits(req.size, is_write),
+        vault=config.vault_of(req.addr),
+        bank=config.bank_of(req.addr),
+        dram_row=config.dram_row_of(req.addr),
+        columns=config.columns(req.size),
+    )
+
+
+def packet_crc(req: CoalescedRequest) -> int:
+    """32-bit CRC over the packet's addressing fields.
+
+    Stands in for the tail CRC of the HMC protocol; used by tests to
+    exercise the integrity path end to end.
+    """
+    blob = f"{req.addr:x}:{req.size}:{req.rtype.value}".encode()
+    return zlib.crc32(blob) & 0xFFFFFFFF
+
+
+def verify_crc(req: CoalescedRequest, crc: int) -> bool:
+    return packet_crc(req) == crc

@@ -1,0 +1,81 @@
+"""Device-level statistics of the HMC model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass(slots=True)
+class HMCStats:
+    """Aggregate counters of one simulated device.
+
+    ``bank_conflicts`` feeds Fig. 12; latency sums feed Fig. 17; wire
+    FLIT counts cross-check the bandwidth metrics of Figs. 13/14.
+    """
+
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    atomics: int = 0
+    payload_bytes: int = 0
+    wire_flits: int = 0
+    bank_conflicts: int = 0
+    activations: int = 0
+    total_latency_cycles: int = 0
+    #: Completion cycle of the last request (stream makespan anchor).
+    last_completion: int = 0
+    #: Arrival cycle of the first request.
+    first_arrival: int = -1
+    latencies: List[int] = field(default_factory=list)
+    size_histogram: Dict[int, int] = field(default_factory=dict)
+
+    def record(
+        self, arrival: int, completion: int, size: int, conflicts_delta: int
+    ) -> None:
+        self.requests += 1
+        self.payload_bytes += size
+        lat = completion - arrival
+        self.total_latency_cycles += lat
+        self.latencies.append(lat)
+        self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
+        self.bank_conflicts += conflicts_delta
+        self.last_completion = max(self.last_completion, completion)
+        if self.first_arrival < 0 or arrival < self.first_arrival:
+            self.first_arrival = arrival
+
+    @property
+    def mean_latency(self) -> float:
+        return self.total_latency_cycles / self.requests if self.requests else 0.0
+
+    @property
+    def makespan(self) -> int:
+        """Cycles from first arrival to last completion."""
+        if self.first_arrival < 0:
+            return 0
+        return self.last_completion - self.first_arrival
+
+    @property
+    def wire_bytes(self) -> int:
+        return self.wire_flits * 16
+
+    def latency_percentile(self, q: float) -> float:
+        """q-quantile (0..1) of per-request latency, linear-interpolated."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.latencies:
+            return 0.0
+        data = sorted(self.latencies)
+        pos = q * (len(data) - 1)
+        lo = int(pos)
+        hi = min(lo + 1, len(data) - 1)
+        frac = pos - lo
+        return data[lo] * (1 - frac) + data[hi] * frac
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(0.5)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(0.99)

@@ -1,0 +1,82 @@
+"""Vault controller model.
+
+Each vault hosts a memory controller in the HMC logic layer managing its
+own banks.  The controller front-end is a single-issue queue: requests
+are admitted in arrival order, pay a fixed processing latency, and then
+occupy their target bank per the closed-page timing in
+:mod:`repro.hmc.bank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from .bank import Bank
+from .config import HMCConfig
+from .timing import HMCTiming
+
+
+@dataclass(slots=True)
+class VaultStats:
+    requests: int = 0
+    reads: int = 0
+    writes: int = 0
+    queue_wait_cycles: int = 0
+    service_cycles: int = 0
+
+
+class Vault:
+    """One vault: front-end queue + banks."""
+
+    def __init__(self, index: int, config: HMCConfig) -> None:
+        self.index = index
+        self.config = config
+        self.timing: HMCTiming = config.timing
+        self.banks: List[Bank] = [
+            Bank(self.timing) for _ in range(config.banks_per_vault)
+        ]
+        #: Cycle at which the controller front-end frees up.
+        self.frontend_ready = 0
+        self.stats = VaultStats()
+
+    def access(
+        self, arrival: int, bank_idx: int, dram_row: int, columns: int, is_write: bool
+    ) -> int:
+        """Serve one request; returns the cycle its data leaves the vault.
+
+        The front-end admits one request per ``vault_processing`` window
+        (in-order), then the bank timing applies.  Writes complete (for
+        acknowledgement purposes) when the burst has been absorbed.
+        """
+        if not 0 <= bank_idx < len(self.banks):
+            raise ValueError(f"bank {bank_idx} out of range")
+        st = self.stats
+        st.requests += 1
+        if is_write:
+            st.writes += 1
+        else:
+            st.reads += 1
+
+        start = max(arrival, self.frontend_ready)
+        st.queue_wait_cycles += start - arrival
+        self.frontend_ready = start + self.timing.vault_processing
+        dispatched = start + self.timing.vault_processing
+
+        done = self.banks[bank_idx].access(dispatched, dram_row, columns)
+        st.service_cycles += done - arrival
+        return done
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def bank_conflicts(self) -> int:
+        return sum(b.conflicts for b in self.banks)
+
+    @property
+    def bank_accesses(self) -> int:
+        return sum(b.accesses for b in self.banks)
+
+    @property
+    def activations(self) -> int:
+        return sum(b.activations for b in self.banks)

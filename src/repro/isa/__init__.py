@@ -1,0 +1,49 @@
+"""Mini-ISA executor — the Spike-tracer stand-in (paper section 5.1).
+
+A functional RISC-V-flavoured interpreter with the paper's SPM
+prefetch/write-back ISA extensions and built-in memory tracing:
+programs actually compute, and their memory behaviour falls out as
+:class:`repro.trace.record.TraceRecord` streams ready for the MAC.
+"""
+
+from .assembler import AssemblyError, assemble
+from .instructions import ALL_OPCODES, Instruction, parse_register
+from .kernels import (
+    GATHER,
+    GUPS,
+    REDUCE_ATOMIC,
+    SPMV_CSR,
+    STENCIL_1D,
+    VECTOR_COPY,
+    run_gather,
+    run_gups,
+    run_parallel_reduce,
+    run_spmv,
+    run_stencil,
+    run_vector_copy,
+)
+from .machine import ExecutionError, Hart, Machine, run_program
+
+__all__ = [
+    "ALL_OPCODES",
+    "AssemblyError",
+    "ExecutionError",
+    "GATHER",
+    "GUPS",
+    "Hart",
+    "Instruction",
+    "Machine",
+    "REDUCE_ATOMIC",
+    "SPMV_CSR",
+    "STENCIL_1D",
+    "VECTOR_COPY",
+    "assemble",
+    "parse_register",
+    "run_gather",
+    "run_gups",
+    "run_parallel_reduce",
+    "run_spmv",
+    "run_stencil",
+    "run_program",
+    "run_vector_copy",
+]

@@ -1,0 +1,192 @@
+"""Two-pass assembler for the mini ISA.
+
+Accepts the usual free-form assembly text: one instruction per line,
+``label:`` definitions, ``#`` comments, commas or spaces between
+operands, decimal or ``0x`` immediates, and ``offset(reg)`` memory
+operands for ``ld``/``sd``.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Tuple
+
+from .instructions import (
+    BRANCHES,
+    I_TYPE,
+    Instruction,
+    JUMPS,
+    LOADS,
+    R_TYPE,
+    SPM_OPS,
+    STORES,
+    parse_register,
+)
+
+_MEM_OPERAND = re.compile(r"^(-?(?:0x[0-9a-fA-F]+|\d+))?\((\w+)\)$")
+
+
+class AssemblyError(ValueError):
+    """Malformed assembly source."""
+
+    def __init__(self, line_no: int, message: str) -> None:
+        super().__init__(f"line {line_no}: {message}")
+        self.line_no = line_no
+
+
+def _imm(token: str, line_no: int) -> int:
+    try:
+        return int(token, 0)
+    except ValueError as exc:
+        raise AssemblyError(line_no, f"bad immediate {token!r}") from exc
+
+
+def _split_operands(rest: str) -> List[str]:
+    rest = rest.strip()
+    if not rest:
+        return []
+    return [t for t in re.split(r"[,\s]+", rest) if t]
+
+
+def assemble(source: str) -> List[Instruction]:
+    """Assemble source text into an instruction list."""
+    # Pass 1: strip comments, collect labels against instruction indices.
+    lines: List[Tuple[int, str]] = []
+    labels: Dict[str, int] = {}
+    index = 0
+    for line_no, raw in enumerate(source.splitlines(), 1):
+        text = raw.split("#", 1)[0].strip()
+        while text:
+            m = re.match(r"^(\w+):\s*", text)
+            if not m:
+                break
+            label = m.group(1)
+            if label in labels:
+                raise AssemblyError(line_no, f"duplicate label {label!r}")
+            labels[label] = index
+            text = text[m.end():]
+        if text:
+            lines.append((line_no, text))
+            index += 1
+
+    # Pass 2: decode.
+    program: List[Instruction] = []
+    for pos, (line_no, text) in enumerate(lines):
+        parts = text.split(None, 1)
+        op = parts[0].lower()
+        ops = _split_operands(parts[1] if len(parts) > 1 else "")
+
+        def need(n: int) -> None:
+            if len(ops) != n:
+                raise AssemblyError(line_no, f"{op} expects {n} operands, got {len(ops)}")
+
+        try:
+            if op in R_TYPE:
+                need(3)
+                program.append(
+                    Instruction(
+                        op,
+                        rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]),
+                        rs2=parse_register(ops[2]),
+                        line=line_no,
+                    )
+                )
+            elif op in I_TYPE:
+                need(3)
+                program.append(
+                    Instruction(
+                        op,
+                        rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]),
+                        imm=_imm(ops[2], line_no),
+                        line=line_no,
+                    )
+                )
+            elif op in LOADS or op in STORES:
+                need(2)
+                m = _MEM_OPERAND.match(ops[1])
+                if not m:
+                    raise AssemblyError(line_no, f"bad memory operand {ops[1]!r}")
+                offset = _imm(m.group(1), line_no) if m.group(1) else 0
+                base = parse_register(m.group(2))
+                reg = parse_register(ops[0])
+                if op in LOADS:
+                    program.append(
+                        Instruction(op, rd=reg, rs1=base, imm=offset, line=line_no)
+                    )
+                else:
+                    program.append(
+                        Instruction(op, rs2=reg, rs1=base, imm=offset, line=line_no)
+                    )
+            elif op in BRANCHES:
+                need(3)
+                if ops[2] not in labels:
+                    raise AssemblyError(line_no, f"unknown label {ops[2]!r}")
+                program.append(
+                    Instruction(
+                        op,
+                        rs1=parse_register(ops[0]),
+                        rs2=parse_register(ops[1]),
+                        target=labels[ops[2]],
+                        line=line_no,
+                    )
+                )
+            elif op in JUMPS:
+                need(1)
+                if ops[0] not in labels:
+                    raise AssemblyError(line_no, f"unknown label {ops[0]!r}")
+                program.append(Instruction("j", target=labels[ops[0]], line=line_no))
+            elif op in SPM_OPS:
+                need(2)
+                program.append(
+                    Instruction(
+                        op,
+                        rs1=parse_register(ops[0]),
+                        imm=_imm(ops[1], line_no),
+                        line=line_no,
+                    )
+                )
+            elif op == "li":
+                need(2)
+                program.append(
+                    Instruction(
+                        "li", rd=parse_register(ops[0]), imm=_imm(ops[1], line_no),
+                        line=line_no,
+                    )
+                )
+            elif op == "mv":
+                need(2)
+                program.append(
+                    Instruction(
+                        "mv",
+                        rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]),
+                        line=line_no,
+                    )
+                )
+            elif op == "amoadd":
+                need(3)
+                m = _MEM_OPERAND.match(ops[1])
+                if m:
+                    raise AssemblyError(line_no, "amoadd takes plain registers")
+                program.append(
+                    Instruction(
+                        "amoadd",
+                        rd=parse_register(ops[0]),
+                        rs1=parse_register(ops[1]),
+                        rs2=parse_register(ops[2]),
+                        line=line_no,
+                    )
+                )
+            elif op in ("fence", "halt", "nop"):
+                need(0)
+                program.append(Instruction(op, line=line_no))
+            else:  # pragma: no cover - ALL_OPCODES guards this
+                raise AssemblyError(line_no, f"unknown opcode {op!r}")
+        except ValueError as exc:
+            if isinstance(exc, AssemblyError):
+                raise
+            raise AssemblyError(line_no, str(exc)) from exc
+
+    return program

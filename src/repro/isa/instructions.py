@@ -1,0 +1,106 @@
+"""Mini RISC-V-flavoured instruction set (the Spike stand-in's ISA).
+
+The paper traces RV64IMAFDC programs on a modified Spike whose ISA was
+extended with software-managed-SPM operations (prefetch, write-back;
+section 5.1).  This module defines a compact subset sufficient to write
+the memory kernels the evaluation needs, plus those SPM extensions:
+
+========= =====================================================
+mnemonic  semantics
+========= =====================================================
+``addi``  rd = rs1 + imm
+``add``   rd = rs1 + rs2            (likewise ``sub mul and or xor``)
+``slli``  rd = rs1 << imm           (``srli`` right shift)
+``li``    rd = imm                  (pseudo-instruction)
+``mv``    rd = rs1                  (pseudo-instruction)
+``ld``    rd = mem[rs1 + imm]       (8 B load, traced)
+``sd``    mem[rs1 + imm] = rs2      (8 B store, traced)
+``beq``   branch to label if rs1 == rs2   (``bne blt bge``)
+``j``     unconditional branch      (``jal`` without linkage)
+``fence`` memory fence              (traced)
+``amoadd`` rd = mem[rs1]; mem[rs1] += rs2  (atomic, traced)
+``spm.pf`` prefetch [rs1, rs1+imm) into the SPM (block transfer)
+``spm.wb`` write back [rs1, rs1+imm) from the SPM
+``spm.alloc`` map [rs1, rs1+imm) into the SPM without fetching
+          (no-write-allocate for produce-only buffers)
+``halt``  stop the hart
+========= =====================================================
+
+Registers are ``x0``..``x31`` with the RISC-V convention that ``x0``
+reads as zero and ignores writes; the ABI aliases (``a0``-``a7``,
+``t0``-``t6``, ``s0``-``s11``, ``zero``, ``ra``, ``sp``) are accepted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Register count of the integer file.
+NUM_REGS = 32
+
+#: ABI register aliases -> indices.
+ABI_NAMES = {
+    "zero": 0,
+    "ra": 1,
+    "sp": 2,
+    "gp": 3,
+    "tp": 4,
+    **{f"t{i}": n for i, n in zip(range(3), (5, 6, 7))},
+    **{f"t{i}": n for i, n in zip(range(3, 7), (28, 29, 30, 31))},
+    "s0": 8,
+    "fp": 8,
+    "s1": 9,
+    **{f"a{i}": 10 + i for i in range(8)},
+    **{f"s{i}": 16 + i for i in range(2, 12)},
+}
+
+#: Opcodes grouped by operand shape.
+R_TYPE = {"add", "sub", "mul", "and", "or", "xor"}
+I_TYPE = {"addi", "slli", "srli"}
+LOADS = {"ld"}
+STORES = {"sd"}
+BRANCHES = {"beq", "bne", "blt", "bge"}
+JUMPS = {"j", "jal"}
+SPM_OPS = {"spm.pf", "spm.wb", "spm.alloc"}
+MISC = {"li", "mv", "fence", "amoadd", "halt", "nop"}
+
+ALL_OPCODES = R_TYPE | I_TYPE | LOADS | STORES | BRANCHES | JUMPS | SPM_OPS | MISC
+
+
+def parse_register(token: str) -> int:
+    """Register token -> index (accepts x-names and ABI aliases)."""
+    token = token.strip().lower()
+    if token in ABI_NAMES:
+        return ABI_NAMES[token]
+    if token.startswith("x"):
+        try:
+            idx = int(token[1:])
+        except ValueError as exc:
+            raise ValueError(f"bad register {token!r}") from exc
+        if 0 <= idx < NUM_REGS:
+            return idx
+    raise ValueError(f"bad register {token!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class Instruction:
+    """One decoded instruction.
+
+    Operand meaning depends on ``op``: ``rd``/``rs1``/``rs2`` are
+    register indices, ``imm`` an immediate, ``target`` a resolved
+    instruction index for control flow.
+    """
+
+    op: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target: int = -1
+    #: Source line for diagnostics.
+    line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.op not in ALL_OPCODES:
+            raise ValueError(f"unknown opcode {self.op!r}")

@@ -1,0 +1,281 @@
+"""Functional multi-hart executor with memory tracing (the Spike stand-in).
+
+Executes assembled programs on one or more *harts* (hardware threads),
+interleaved round-robin one instruction per turn, against a shared
+sparse 64-bit memory.  Every ``ld``/``sd``/``amoadd``/``fence`` and
+every SPM block transfer is captured as a
+:class:`repro.trace.record.TraceRecord` — exactly what the paper's
+modified-Spike tracer produced (section 5.1).  The SPM extension
+instructions (``spm.pf``/``spm.wb``) move whole blocks as FLIT-sized
+transfers and map the range into the hart's SPM, so subsequent word
+accesses to it are SPM hits and generate *no* off-chip trace records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.request import RequestType
+from repro.node.spm import ScratchpadMemory
+from repro.trace.record import TraceRecord
+
+from .assembler import assemble
+from .instructions import Instruction
+
+_MASK64 = (1 << 64) - 1
+
+
+def _signed(value: int) -> int:
+    value &= _MASK64
+    return value - (1 << 64) if value >> 63 else value
+
+
+class ExecutionError(RuntimeError):
+    """Raised for runaway or faulting programs."""
+
+
+@dataclass
+class Hart:
+    """One hardware thread: registers, pc, private SPM."""
+
+    hart_id: int
+    program: List[Instruction]
+    spm: ScratchpadMemory = field(default_factory=lambda: ScratchpadMemory(1 << 20))
+    regs: List[int] = field(default_factory=lambda: [0] * 32)
+    pc: int = 0
+    halted: bool = False
+    retired: int = 0
+
+    def read(self, reg: int) -> int:
+        return 0 if reg == 0 else self.regs[reg] & _MASK64
+
+    def write(self, reg: int, value: int) -> None:
+        if reg != 0:
+            self.regs[reg] = value & _MASK64
+
+
+class Machine:
+    """Shared memory + N harts + tracer."""
+
+    def __init__(
+        self,
+        source: str,
+        harts: int = 1,
+        trace: bool = True,
+        spm_bytes: int = 1 << 20,
+    ) -> None:
+        if harts < 1:
+            raise ValueError("need at least one hart")
+        program = assemble(source)
+        if not program:
+            raise ValueError("empty program")
+        self.memory: Dict[int, int] = {}
+        self.harts = [
+            Hart(h, program, spm=ScratchpadMemory(spm_bytes)) for h in range(harts)
+        ]
+        self.tracing = trace
+        self.trace: List[TraceRecord] = []
+        self._cycle = 0
+
+    # -- memory ------------------------------------------------------------
+
+    def poke(self, addr: int, value: int) -> None:
+        """Host write of one 64-bit word (test/data setup)."""
+        if addr % 8:
+            raise ValueError("word accesses must be 8-byte aligned")
+        self.memory[addr] = value & _MASK64
+
+    def peek(self, addr: int) -> int:
+        if addr % 8:
+            raise ValueError("word accesses must be 8-byte aligned")
+        return self.memory.get(addr, 0)
+
+    def load_words(self, base: int, values: Sequence[int]) -> None:
+        for i, v in enumerate(values):
+            self.poke(base + 8 * i, v)
+
+    # -- execution ------------------------------------------------------------
+
+    def _record(self, hart: Hart, op: RequestType, addr: int, size: int = 8) -> None:
+        if self.tracing:
+            self.trace.append(
+                TraceRecord(
+                    op=op,
+                    addr=addr,
+                    size=size,
+                    tid=hart.hart_id,
+                    core=hart.hart_id % 8,
+                    cycle=self._cycle,
+                )
+            )
+
+    def _mem_load(self, hart: Hart, addr: int) -> int:
+        if addr % 8:
+            raise ExecutionError(f"misaligned load at {addr:#x}")
+        if hart.spm.access(addr) is None:
+            self._record(hart, RequestType.LOAD, addr)
+        return self.memory.get(addr, 0)
+
+    def _mem_store(self, hart: Hart, addr: int, value: int) -> None:
+        if addr % 8:
+            raise ExecutionError(f"misaligned store at {addr:#x}")
+        if hart.spm.access(addr) is None:
+            self._record(hart, RequestType.STORE, addr)
+        self.memory[addr] = value & _MASK64
+
+    def _spm_transfer(self, hart: Hart, base: int, nbytes: int, write: bool) -> None:
+        if nbytes <= 0:
+            raise ExecutionError("SPM transfer size must be positive")
+        flit = 16
+        start = base - (base % flit)
+        end = base + nbytes
+        op = RequestType.STORE if write else RequestType.LOAD
+        addr = start
+        while addr < end:
+            self._record(hart, op, addr, size=flit)
+            addr += flit
+        if not write:
+            self._spm_map(hart, start, end - start)
+
+    def _spm_map(self, hart: Hart, base: int, nbytes: int) -> None:
+        """Map a range into the SPM (evicting oldest mappings on
+        pressure, as runtime-managed SPM allocators do)."""
+        flit = 16
+        start = base - (base % flit)
+        size = (base + nbytes) - start
+        try:
+            hart.spm.map(start, size)
+        except MemoryError:
+            regions = hart.spm.mapped_regions()
+            while regions and hart.spm.free_bytes < size:
+                hart.spm.unmap(regions.pop(0)[0])
+            hart.spm.map(start, size)
+        except ValueError:
+            pass  # overlapping re-map: already resident
+
+    def _spm_unmap(self, hart: Hart, base: int, nbytes: int) -> None:
+        """Release the mapping covering ``base`` after write-back."""
+        flit = 16
+        start = base - (base % flit)
+        for rbase, rsize in hart.spm.mapped_regions():
+            if rbase <= start < rbase + rsize:
+                hart.spm.unmap(rbase)
+                return
+
+    def step_hart(self, hart: Hart) -> None:
+        """Retire one instruction on one hart."""
+        if hart.halted:
+            return
+        if not 0 <= hart.pc < len(hart.program):
+            raise ExecutionError(f"hart {hart.hart_id}: pc {hart.pc} out of range")
+        ins = hart.program[hart.pc]
+        next_pc = hart.pc + 1
+        op = ins.op
+
+        if op == "addi":
+            hart.write(ins.rd, hart.read(ins.rs1) + ins.imm)
+        elif op == "add":
+            hart.write(ins.rd, hart.read(ins.rs1) + hart.read(ins.rs2))
+        elif op == "sub":
+            hart.write(ins.rd, hart.read(ins.rs1) - hart.read(ins.rs2))
+        elif op == "mul":
+            hart.write(ins.rd, hart.read(ins.rs1) * hart.read(ins.rs2))
+        elif op == "and":
+            hart.write(ins.rd, hart.read(ins.rs1) & hart.read(ins.rs2))
+        elif op == "or":
+            hart.write(ins.rd, hart.read(ins.rs1) | hart.read(ins.rs2))
+        elif op == "xor":
+            hart.write(ins.rd, hart.read(ins.rs1) ^ hart.read(ins.rs2))
+        elif op == "slli":
+            hart.write(ins.rd, hart.read(ins.rs1) << (ins.imm & 63))
+        elif op == "srli":
+            hart.write(ins.rd, hart.read(ins.rs1) >> (ins.imm & 63))
+        elif op == "li":
+            hart.write(ins.rd, ins.imm)
+        elif op == "mv":
+            hart.write(ins.rd, hart.read(ins.rs1))
+        elif op == "ld":
+            hart.write(ins.rd, self._mem_load(hart, hart.read(ins.rs1) + ins.imm))
+        elif op == "sd":
+            self._mem_store(hart, hart.read(ins.rs1) + ins.imm, hart.read(ins.rs2))
+        elif op == "amoadd":
+            addr = hart.read(ins.rs1)
+            if addr % 8:
+                raise ExecutionError(f"misaligned amo at {addr:#x}")
+            old = self.memory.get(addr, 0)
+            self.memory[addr] = (old + hart.read(ins.rs2)) & _MASK64
+            hart.write(ins.rd, old)
+            self._record(hart, RequestType.ATOMIC, addr)
+        elif op == "fence":
+            self._record(hart, RequestType.FENCE, 0)
+        elif op == "spm.pf":
+            self._spm_transfer(hart, hart.read(ins.rs1), ins.imm, write=False)
+        elif op == "spm.wb":
+            self._spm_transfer(hart, hart.read(ins.rs1), ins.imm, write=True)
+            self._spm_unmap(hart, hart.read(ins.rs1), ins.imm)
+        elif op == "spm.alloc":
+            self._spm_map(hart, hart.read(ins.rs1), ins.imm)
+        elif op == "beq":
+            if hart.read(ins.rs1) == hart.read(ins.rs2):
+                next_pc = ins.target
+        elif op == "bne":
+            if hart.read(ins.rs1) != hart.read(ins.rs2):
+                next_pc = ins.target
+        elif op == "blt":
+            if _signed(hart.read(ins.rs1)) < _signed(hart.read(ins.rs2)):
+                next_pc = ins.target
+        elif op == "bge":
+            if _signed(hart.read(ins.rs1)) >= _signed(hart.read(ins.rs2)):
+                next_pc = ins.target
+        elif op == "j":
+            next_pc = ins.target
+        elif op == "halt":
+            hart.halted = True
+            return
+        elif op == "nop":
+            pass
+        else:  # pragma: no cover
+            raise ExecutionError(f"unimplemented opcode {op}")
+
+        hart.pc = next_pc
+        hart.retired += 1
+
+    def run(self, max_steps: int = 5_000_000) -> List[TraceRecord]:
+        """Round-robin execute all harts to completion; returns the trace."""
+        steps = 0
+        while not all(h.halted for h in self.harts):
+            for hart in self.harts:
+                if not hart.halted:
+                    self.step_hart(hart)
+                    steps += 1
+                    if steps > max_steps:
+                        raise ExecutionError("program exceeded max_steps")
+            self._cycle += 1
+        return self.trace
+
+    @property
+    def retired(self) -> int:
+        return sum(h.retired for h in self.harts)
+
+
+def run_program(
+    source: str,
+    harts: int = 1,
+    data: Optional[Dict[int, Sequence[int]]] = None,
+    init_regs: Optional[Dict[int, Dict[int, int]]] = None,
+    max_steps: int = 5_000_000,
+) -> Machine:
+    """Assemble, initialize and execute a program; returns the Machine.
+
+    ``data`` maps base addresses to word sequences; ``init_regs`` maps
+    hart ids to {register index: value} for passing per-hart arguments.
+    """
+    machine = Machine(source, harts=harts)
+    for base, values in (data or {}).items():
+        machine.load_words(base, values)
+    for hart_id, regs in (init_regs or {}).items():
+        for reg, value in regs.items():
+            machine.harts[hart_id].write(reg, value)
+    machine.run(max_steps=max_steps)
+    return machine

@@ -1,0 +1,25 @@
+"""Cache-less multicore node and NUMA system models (paper section 3)."""
+
+from .core import CoreStats, InOrderCore
+from .interconnect import Hop, Interconnect
+from .lsq import LoadStoreQueue
+from .mt_core import MTCoreStats, MultithreadedCore
+from .node import Node, NodeStats
+from .spm import ScratchpadMemory
+from .system import NUMASystem, SystemStats, interleaved_home
+
+__all__ = [
+    "CoreStats",
+    "Hop",
+    "InOrderCore",
+    "Interconnect",
+    "LoadStoreQueue",
+    "MTCoreStats",
+    "MultithreadedCore",
+    "NUMASystem",
+    "Node",
+    "NodeStats",
+    "ScratchpadMemory",
+    "SystemStats",
+    "interleaved_home",
+]

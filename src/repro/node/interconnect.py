@@ -1,0 +1,55 @@
+"""Node-to-node interconnect of the NUMA system (paper Fig. 4).
+
+The paper explicitly leaves node-to-node transport out of scope; this is
+a deliberately simple fixed-latency, infinite-bandwidth fabric that
+moves raw requests to a remote node's Remote Access Queue and response
+payloads back.  It exists so the request/response routers' remote paths
+are exercised end to end.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Any, List, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Hop:
+    """One message in flight: delivery cycle, destination node, payload."""
+
+    deliver_cycle: int
+    dst: int
+    payload: Any
+
+
+class Interconnect:
+    """Fixed-latency point-to-point fabric between nodes."""
+
+    def __init__(self, latency_cycles: int = 120) -> None:
+        if latency_cycles < 0:
+            raise ValueError("latency must be non-negative")
+        self.latency_cycles = latency_cycles
+        self._heap: List[Tuple[int, int, int, Any]] = []
+        self._seq = 0
+        self.messages_sent = 0
+
+    def send(self, cycle: int, dst: int, payload: Any) -> None:
+        """Inject a message at ``cycle`` for delivery to node ``dst``."""
+        self._seq += 1
+        heapq.heappush(
+            self._heap, (cycle + self.latency_cycles, self._seq, dst, payload)
+        )
+        self.messages_sent += 1
+
+    def deliver(self, cycle: int) -> List[Tuple[int, Any]]:
+        """Pop every (dst, payload) whose delivery time has arrived."""
+        out: List[Tuple[int, Any]] = []
+        while self._heap and self._heap[0][0] <= cycle:
+            _, _, dst, payload = heapq.heappop(self._heap)
+            out.append((dst, payload))
+        return out
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._heap)

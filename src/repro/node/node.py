@@ -1,0 +1,179 @@
+"""One full node: cores + SPMs + MAC + local HMC device, closed loop.
+
+This is the dashed box of the paper's Fig. 4: multiple simple in-order
+cores behind a request router, the MAC, and a directly attached
+3D-stacked memory device.  The node simulation advances all components
+on one clock and delivers memory responses back to the issuing cores'
+load/store queues, so end-to-end latency and throughput effects
+(Fig. 17) emerge from the closed loop.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from repro.core.config import MACConfig, SystemConfig
+from repro.core.flit_table import FlitTablePolicy
+from repro.core.mac import MAC
+from repro.core.packet import CoalescedResponse
+from repro.core.request import MemoryRequest
+from repro.hmc.config import HMCConfig
+from repro.hmc.device import HMCDevice
+
+from .core import InOrderCore
+from .spm import ScratchpadMemory
+
+
+@dataclass
+class NodeStats:
+    cycles: int = 0
+    requests_issued: int = 0
+    responses_delivered: int = 0
+
+    # Filled from subcomponents at the end of a run.
+    coalescing_efficiency: float = 0.0
+    bank_conflicts: int = 0
+    mean_memory_latency: float = 0.0
+
+
+class Node:
+    """Closed-loop simulation of one node of the Fig. 4 architecture."""
+
+    def __init__(
+        self,
+        streams: Sequence[Iterator[MemoryRequest]],
+        system: Optional[SystemConfig] = None,
+        hmc_config: Optional[HMCConfig] = None,
+        node_id: int = 0,
+        policy: FlitTablePolicy = FlitTablePolicy.SPAN,
+        coalescing_enabled: bool = True,
+        spm_factory: Optional[Callable[[int], ScratchpadMemory]] = None,
+    ) -> None:
+        self.system = system or SystemConfig()
+        self.node_id = node_id
+        #: With coalescing disabled the MAC degenerates to a 1-entry ARQ
+        #: with no latency hiding: every request ships as a 16 B packet
+        #: (the paper's "without MAC" baseline).
+        mac_cfg = (
+            self.system.mac
+            if coalescing_enabled
+            else MACConfig(arq_entries=1, latency_hiding=False)
+        )
+        self.mac = MAC(mac_cfg, node_id=node_id, policy=policy)
+        self.device = HMCDevice(hmc_config)
+        self.cores: List[InOrderCore] = []
+        for cid, stream in enumerate(streams):
+            spm = (
+                spm_factory(cid)
+                if spm_factory is not None
+                else ScratchpadMemory(
+                    self.system.spm_bytes, self.system.spm_latency_cycles
+                )
+            )
+            self.cores.append(InOrderCore(cid, stream, spm=spm))
+        self.stats = NodeStats()
+        self._cycle = 0
+        #: Min-heap of (complete_cycle, seq, response) awaiting delivery.
+        self._in_flight: List = []
+        self._seq = 0
+        #: (target, raw) pairs for remote requesters, collected by the
+        #: NUMA system each tick.
+        self.pending_remote: List = []
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def done(self) -> bool:
+        return (
+            all(c.done for c in self.cores)
+            and self.mac.idle()
+            and not self._in_flight
+        )
+
+    def tick(self) -> None:
+        cycle = self._cycle
+
+        # 1. Deliver responses that completed by now.
+        while self._in_flight and self._in_flight[0][0] <= cycle:
+            _, _, resp = heapq.heappop(self._in_flight)
+            self.mac.receive_response(resp)
+        local, remote = self.mac.deliver_responses()
+        self.pending_remote.extend(remote)
+        for target, raw in local:
+            # The issuing core usually matches raw.core, but multithreaded
+            # cores may host the thread elsewhere: fall back to scanning.
+            first = raw.core % len(self.cores)
+            if not self.cores[first].complete(target.tid, target.tag, cycle):
+                for i, core in enumerate(self.cores):
+                    if i != first and core.complete(target.tid, target.tag, cycle):
+                        break
+            self.stats.responses_delivered += 1
+
+        # 2. Cores issue (round-robin fairness is inherent: all tick).
+        for core in self.cores:
+            req = core.tick(cycle)
+            if req is not None:
+                if self.mac.submit(req):
+                    self.stats.requests_issued += 1
+                else:
+                    # Input queue full: the core re-issues next cycle.
+                    core.retry()
+
+        # 3. MAC advances; emitted packets enter the device.
+        for packet in self.mac.tick():
+            resp = self.device.submit(packet, cycle)
+            self._seq += 1
+            heapq.heappush(self._in_flight, (resp.complete_cycle, self._seq, resp))
+
+        self._cycle += 1
+
+    @classmethod
+    def with_multithreaded_cores(
+        cls,
+        thread_streams: Sequence[Iterator[MemoryRequest]],
+        cores: int = 8,
+        system: Optional[SystemConfig] = None,
+        hmc_config: Optional[HMCConfig] = None,
+        coalescing_enabled: bool = True,
+        **core_kwargs,
+    ) -> "Node":
+        """Build a node whose cores temporally multithread (section 3).
+
+        ``thread_streams`` are distributed round-robin over ``cores``
+        :class:`repro.node.mt_core.MultithreadedCore` instances, each
+        keeping one request outstanding per context — the explicit form
+        of the concurrency the plain Node's deep LSQs approximate.
+        """
+        from .mt_core import MultithreadedCore
+
+        node = cls(
+            [],
+            system=system,
+            hmc_config=hmc_config,
+            coalescing_enabled=coalescing_enabled,
+        )
+        groups: List[List[Iterator[MemoryRequest]]] = [[] for _ in range(cores)]
+        for i, stream in enumerate(thread_streams):
+            groups[i % cores].append(stream)
+        node.cores = [
+            MultithreadedCore(cid, streams, **core_kwargs)
+            for cid, streams in enumerate(groups)
+            if streams
+        ]
+        return node
+
+    def run(self, max_cycles: int = 50_000_000) -> NodeStats:
+        """Simulate until every stream drains; returns the filled stats."""
+        while not self.done():
+            self.tick()
+            if self._cycle > max_cycles:
+                raise RuntimeError("node simulation exceeded max_cycles")
+        st = self.stats
+        st.cycles = self._cycle
+        st.coalescing_efficiency = self.mac.stats.coalescing_efficiency
+        st.bank_conflicts = self.device.bank_conflicts
+        st.mean_memory_latency = self.device.stats.mean_latency
+        return st

@@ -1,0 +1,91 @@
+"""Scratchpad memory (SPM) model (paper section 3).
+
+Each core owns a directly addressed, software-managed scratchpad: no
+tags, no TLB, no coherence — an address range either is or is not mapped
+into the SPM by software.  Accesses that hit a mapped range complete at
+SPM latency (1 ns, Table 1); everything else goes to the MAC.
+
+The model tracks explicitly mapped regions (the software's prefetch /
+write-back decisions) plus a capacity accountant so tests can assert the
+1 MB budget is honoured.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class ScratchpadMemory:
+    """One core-private SPM."""
+
+    def __init__(self, capacity_bytes: int = 1 << 20, latency_cycles: int = 3):
+        if capacity_bytes < 1:
+            raise ValueError("SPM capacity must be positive")
+        self.capacity_bytes = capacity_bytes
+        self.latency_cycles = latency_cycles
+        #: Mapped regions: base -> size, kept non-overlapping.
+        self._regions: Dict[int, int] = {}
+        self._used = 0
+        self.hits = 0
+        self.misses = 0
+
+    # -- software management ---------------------------------------------------
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def map(self, base: int, size: int) -> None:
+        """Map a memory range into the SPM (the prefetch target).
+
+        Raises when the budget is exceeded or the range overlaps an
+        existing mapping.
+        """
+        if size < 1:
+            raise ValueError("mapping size must be positive")
+        if size > self.free_bytes:
+            raise MemoryError(
+                f"SPM over capacity: {size} B requested, {self.free_bytes} B free"
+            )
+        for rbase, rsize in self._regions.items():
+            if base < rbase + rsize and rbase < base + size:
+                raise ValueError("mapping overlaps an existing SPM region")
+        self._regions[base] = size
+        self._used += size
+
+    def unmap(self, base: int) -> int:
+        """Release a mapping (after write-back); returns its size."""
+        size = self._regions.pop(base, None)
+        if size is None:
+            raise KeyError(f"no SPM mapping at {base:#x}")
+        self._used -= size
+        return size
+
+    def mapped_regions(self) -> List[Tuple[int, int]]:
+        return sorted(self._regions.items())
+
+    # -- access path -------------------------------------------------------------
+
+    def contains(self, addr: int) -> bool:
+        for rbase, rsize in self._regions.items():
+            if rbase <= addr < rbase + rsize:
+                return True
+        return False
+
+    def access(self, addr: int) -> Optional[int]:
+        """Latency of an SPM access, or None when the address is unmapped."""
+        if self.contains(addr):
+            self.hits += 1
+            return self.latency_cycles
+        self.misses += 1
+        return None
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

@@ -1,0 +1,122 @@
+"""Multi-node NUMA system (paper Fig. 4, section 3).
+
+Each node owns one 3D-stacked memory device; the physical address space
+is interleaved across nodes at a configurable granularity.  Requests for
+remote devices travel: local request router (Global Access Queue) ->
+interconnect -> remote Remote Access Queue -> remote MAC -> remote HMC,
+and the response retraces the path.  Remote traffic coalesces in the
+*home* node's MAC together with that node's local traffic — the
+generality claim of section 3.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.core.config import SystemConfig
+from repro.core.request import MemoryRequest
+
+from .interconnect import Interconnect
+from .node import Node
+
+
+def interleaved_home(nodes: int, granularity: int = 1 << 12):
+    """Address -> home-node mapping, interleaved at ``granularity`` bytes."""
+    if nodes < 1:
+        raise ValueError("need at least one node")
+    if granularity & (granularity - 1):
+        raise ValueError("granularity must be a power of two")
+    shift = granularity.bit_length() - 1
+
+    def home(addr: int) -> int:
+        return (addr >> shift) % nodes
+
+    return home
+
+
+@dataclass
+class SystemStats:
+    cycles: int = 0
+    local_requests: int = 0
+    remote_requests: int = 0
+    responses: int = 0
+
+
+class NUMASystem:
+    """A small mesh of MAC-equipped nodes sharing one address space."""
+
+    def __init__(
+        self,
+        streams_per_node: Sequence[Sequence[Iterator[MemoryRequest]]],
+        system: Optional[SystemConfig] = None,
+        interconnect_latency: int = 120,
+        interleave_bytes: int = 1 << 12,
+    ) -> None:
+        n = len(streams_per_node)
+        if n < 1:
+            raise ValueError("need at least one node")
+        self.home = interleaved_home(n, interleave_bytes)
+        self.nodes: List[Node] = []
+        for nid, streams in enumerate(streams_per_node):
+            node = Node(streams, system=system, node_id=nid)
+            # Rewire the request router with the shared home function.
+            node.mac.request_router.home_fn = self.home
+            self.nodes.append(node)
+        self.fabric = Interconnect(interconnect_latency)
+        self.stats = SystemStats()
+        self._cycle = 0
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def done(self) -> bool:
+        return all(node.done() for node in self.nodes) and self.fabric.in_flight == 0
+
+    def tick(self) -> None:
+        cycle = self._cycle
+
+        # Fabric deliveries: raw requests into remote queues, response
+        # payloads back to the requesting core.
+        for dst, payload in self.fabric.deliver(cycle):
+            node = self.nodes[dst]
+            if isinstance(payload, MemoryRequest):
+                if not node.mac.submit_remote(payload):
+                    # Remote queue full: bounce back onto the fabric with
+                    # a retry delay (simple NACK protocol).
+                    self.fabric.send(cycle, dst, payload)
+            else:  # (target, raw) completion pair heading home
+                target, raw = payload
+                core = node.cores[raw.core % len(node.cores)]
+                core.complete(target.tid, target.tag, cycle)
+                self.stats.responses += 1
+
+        # Per-node progress, with remote routing.
+        for node in self.nodes:
+            node.tick()
+            # Outbound remote raw requests.
+            while True:
+                req = node.mac.request_router.next_outbound()
+                if req is None:
+                    break
+                self.stats.remote_requests += 1
+                self.fabric.send(cycle, self.home(req.addr), req)
+            # Responses for remote requesters (collected by node.tick).
+            for target, raw in node.pending_remote:
+                self.fabric.send(cycle, raw.node, (target, raw))
+            node.pending_remote.clear()
+
+        self._cycle += 1
+
+    def run(self, max_cycles: int = 50_000_000) -> SystemStats:
+        while not self.done():
+            self.tick()
+            if self._cycle > max_cycles:
+                raise RuntimeError("system simulation exceeded max_cycles")
+        self.stats.cycles = self._cycle
+        self.stats.local_requests = sum(
+            n.mac.request_router.stats.local for n in self.nodes
+        )
+        return self.stats

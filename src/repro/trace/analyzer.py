@@ -1,0 +1,144 @@
+"""Trace stream analyzer (paper section 5.1).
+
+The analyzer inspects the memory instruction stream and retrieves, for
+each operation, the HMC row number and FLIT id the MAC will coalesce on,
+plus row-locality statistics that predict coalescing opportunity: how
+many accesses hit a row already touched within the last *W* operations
+(the ARQ's effective window).
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.address import AddressCodec
+from repro.core.config import MACConfig
+from repro.core.request import RequestType
+
+from .record import TraceRecord
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyzedAccess:
+    """One traced access annotated with its HMC coordinates."""
+
+    record: TraceRecord
+    row: int
+    flit: int
+
+
+def annotate(
+    records: Iterable[TraceRecord], config: Optional[MACConfig] = None
+) -> Iterator[AnalyzedAccess]:
+    """Attach (row number, FLIT id) to every load/store of a trace."""
+    cfg = config or MACConfig()
+    codec = AddressCodec(cfg)
+    for rec in records:
+        if rec.op in (RequestType.LOAD, RequestType.STORE):
+            yield AnalyzedAccess(rec, codec.row_number(rec.addr), codec.flit_id(rec.addr))
+
+
+@dataclass(slots=True)
+class RowLocalityStats:
+    """Row-reuse profile of a trace under a sliding window.
+
+    ``window_hits / accesses`` upper-bounds the coalescing efficiency a
+    W-entry ARQ can reach on the trace (type mismatches and capacity
+    evictions only lower it).
+    """
+
+    window: int
+    accesses: int = 0
+    window_hits: int = 0
+    distinct_rows: int = 0
+    row_popularity: Counter = field(default_factory=Counter)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.window_hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def mean_accesses_per_row(self) -> float:
+        if not self.distinct_rows:
+            return 0.0
+        return self.accesses / self.distinct_rows
+
+
+def row_locality(
+    records: Iterable[TraceRecord],
+    window: int = 32,
+    config: Optional[MACConfig] = None,
+    track_popularity: bool = False,
+) -> RowLocalityStats:
+    """Measure same-row reuse within a W-row sliding window.
+
+    A hit is an access whose (row, op-type) key is currently resident in
+    the window — the exact hit condition of the ARQ comparators.
+    """
+    cfg = config or MACConfig()
+    codec = AddressCodec(cfg)
+    stats = RowLocalityStats(window)
+    resident: "OrderedDict[Tuple[int, int], None]" = OrderedDict()
+    seen_rows: set = set()
+    for rec in records:
+        if rec.op not in (RequestType.LOAD, RequestType.STORE):
+            if rec.op is RequestType.FENCE:
+                resident.clear()
+            continue
+        stats.accesses += 1
+        row = codec.row_number(rec.addr)
+        key = (row, rec.op.t_bit)
+        if row not in seen_rows:
+            seen_rows.add(row)
+        if track_popularity:
+            stats.row_popularity[row] += 1
+        if key in resident:
+            stats.window_hits += 1
+            resident.move_to_end(key)
+        else:
+            resident[key] = None
+            if len(resident) > window:
+                resident.popitem(last=False)
+    stats.distinct_rows = len(seen_rows)
+    return stats
+
+
+def flit_footprints(
+    records: Iterable[TraceRecord],
+    window: int = 32,
+    config: Optional[MACConfig] = None,
+) -> List[int]:
+    """Per-coalescing-group FLIT-map populations under ARQ semantics.
+
+    Returns, for every group of accesses the ARQ would merge, the number
+    of distinct FLITs it touches — the input distribution of the request
+    builder's FLIT table.
+    """
+    cfg = config or MACConfig()
+    codec = AddressCodec(cfg)
+    window_maps: "OrderedDict[Tuple[int, int], set]" = OrderedDict()
+    out: List[int] = []
+
+    def evict(key: Tuple[int, int]) -> None:
+        flits = window_maps.pop(key)
+        out.append(len(flits))
+
+    for rec in records:
+        if rec.op not in (RequestType.LOAD, RequestType.STORE):
+            if rec.op is RequestType.FENCE:
+                for key in list(window_maps):
+                    evict(key)
+            continue
+        row = codec.row_number(rec.addr)
+        key = (row, rec.op.t_bit)
+        if key in window_maps:
+            window_maps[key].add(codec.flit_id(rec.addr))
+        else:
+            if len(window_maps) >= window:
+                evict(next(iter(window_maps)))
+            window_maps[key] = {codec.flit_id(rec.addr)}
+    for key in list(window_maps):
+        evict(key)
+    return out

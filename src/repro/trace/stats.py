@@ -1,0 +1,112 @@
+"""Execution-level trace statistics: IPC, RPI, memory access rate, RPC.
+
+Implements Equation 2 of the paper::
+
+    RPC = IPC x RPI x #cores x mem_access_rate
+
+where IPC is instructions per cycle of one core, RPI is memory requests
+per instruction, and mem_access_rate is the fraction of those requests
+that miss the SPM and reach the MAC (section 4.4, Fig. 9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.request import RequestType
+
+from .record import TraceRecord
+
+
+@dataclass(frozen=True, slots=True)
+class ExecutionProfile:
+    """Per-benchmark execution characteristics (Eq. 2 inputs).
+
+    The paper measures these with Spike; our workload generators declare
+    them per benchmark class (see ``repro.workloads.registry``) based on
+    the published characteristics of each suite.
+
+    Note on magnitudes: ``ipc`` here is the per-core *request injection
+    rate*, counting both instruction-issued accesses and the SPM DMA
+    engines' block-transfer bursts (section 5.1's prefetch/write-back
+    ISA extensions).  That is how an 8-core in-order node offers the
+    paper's ~9 raw requests per cycle (Fig. 9) despite single-issue
+    pipelines.
+    """
+
+    name: str
+    ipc: float
+    rpi: float
+    mem_access_rate: float
+
+    def __post_init__(self) -> None:
+        if self.ipc <= 0:
+            raise ValueError("IPC must be positive")
+        if not 0 < self.rpi <= 1:
+            raise ValueError("RPI must be in (0, 1]")
+        if not 0 < self.mem_access_rate <= 1:
+            raise ValueError("mem_access_rate must be in (0, 1]")
+
+    def rpc(self, cores: int = 8) -> float:
+        """Raw requests per cycle offered to the MAC (Eq. 2)."""
+        if cores < 1:
+            raise ValueError("need at least one core")
+        return self.ipc * self.rpi * cores * self.mem_access_rate
+
+
+@dataclass(slots=True)
+class TraceSummary:
+    """Counts derived from an actual trace."""
+
+    operations: int = 0
+    loads: int = 0
+    stores: int = 0
+    fences: int = 0
+    atomics: int = 0
+    bytes_accessed: int = 0
+    distinct_threads: int = 0
+    span_cycles: int = 0
+
+    @property
+    def memory_operations(self) -> int:
+        return self.loads + self.stores + self.atomics
+
+    @property
+    def load_fraction(self) -> float:
+        m = self.memory_operations
+        return self.loads / m if m else 0.0
+
+    @property
+    def requests_per_cycle(self) -> float:
+        """Offered raw-request rate over the traced execution span."""
+        if self.span_cycles <= 0:
+            return 0.0
+        return self.memory_operations / self.span_cycles
+
+
+def summarize(records: Iterable[TraceRecord]) -> TraceSummary:
+    """One pass over a trace computing the summary counters."""
+    s = TraceSummary()
+    threads = set()
+    first = None
+    last = 0
+    for rec in records:
+        s.operations += 1
+        if rec.op is RequestType.LOAD:
+            s.loads += 1
+        elif rec.op is RequestType.STORE:
+            s.stores += 1
+        elif rec.op is RequestType.FENCE:
+            s.fences += 1
+        else:
+            s.atomics += 1
+        if rec.op is not RequestType.FENCE:
+            s.bytes_accessed += rec.size
+        threads.add(rec.tid)
+        if first is None or rec.cycle < first:
+            first = rec.cycle
+        last = max(last, rec.cycle)
+    s.distinct_threads = len(threads)
+    s.span_cycles = 0 if first is None else last - first + 1
+    return s

@@ -1,0 +1,101 @@
+"""Trace transformation utilities.
+
+Library helpers for slicing, merging and reshaping traces — the
+operations an experimenter performs between capturing a trace and
+feeding it to the MAC: per-thread splitting for core streams,
+time-window slicing for phase studies, interleaving several captures,
+and address remapping for relocation.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, Dict, Iterable, Iterator, List, Sequence
+
+from repro.core.request import RequestType
+
+from .record import TraceRecord
+
+
+def split_by_thread(records: Iterable[TraceRecord]) -> Dict[int, List[TraceRecord]]:
+    """Partition a trace into per-thread sub-traces (order preserved)."""
+    out: Dict[int, List[TraceRecord]] = {}
+    for rec in records:
+        out.setdefault(rec.tid, []).append(rec)
+    return out
+
+
+def split_by_core(records: Iterable[TraceRecord]) -> Dict[int, List[TraceRecord]]:
+    """Partition a trace into per-core sub-traces (order preserved)."""
+    out: Dict[int, List[TraceRecord]] = {}
+    for rec in records:
+        out.setdefault(rec.core, []).append(rec)
+    return out
+
+
+def time_window(
+    records: Iterable[TraceRecord], start: int, end: int
+) -> Iterator[TraceRecord]:
+    """Records with ``start <= cycle < end`` (for phase studies)."""
+    if end < start:
+        raise ValueError("end must be >= start")
+    for rec in records:
+        if start <= rec.cycle < end:
+            yield rec
+
+
+def merge_by_cycle(*traces: Sequence[TraceRecord]) -> List[TraceRecord]:
+    """Merge cycle-stamped traces into one, ordered by cycle (stable)."""
+    return list(
+        heapq.merge(*traces, key=lambda r: r.cycle)
+    )
+
+
+def remap_addresses(
+    records: Iterable[TraceRecord], fn: Callable[[int], int]
+) -> Iterator[TraceRecord]:
+    """Apply an address transformation (e.g. relocation) to a trace.
+
+    Fences (addr 0 by convention) pass through untouched.
+    """
+    for rec in records:
+        if rec.op is RequestType.FENCE:
+            yield rec
+            continue
+        new_addr = fn(rec.addr)
+        if not 0 <= new_addr < (1 << 52):
+            raise ValueError(f"remapped address {new_addr:#x} out of range")
+        yield TraceRecord(
+            op=rec.op,
+            addr=new_addr,
+            size=rec.size,
+            tid=rec.tid,
+            core=rec.core,
+            cycle=rec.cycle,
+        )
+
+
+def filter_ops(
+    records: Iterable[TraceRecord], kinds: Sequence[RequestType]
+) -> Iterator[TraceRecord]:
+    """Keep only the given operation kinds."""
+    wanted = set(kinds)
+    return (rec for rec in records if rec.op in wanted)
+
+
+def downsample(
+    records: Sequence[TraceRecord], keep_one_in: int
+) -> List[TraceRecord]:
+    """Systematic 1-in-N sampling (fences always kept: they are barriers).
+
+    Note that sampling changes coalescing behaviour — row neighbours of
+    dropped records disappear — so use it for miss-rate-style studies,
+    not for MAC efficiency measurements.
+    """
+    if keep_one_in < 1:
+        raise ValueError("keep_one_in must be >= 1")
+    out: List[TraceRecord] = []
+    for i, rec in enumerate(records):
+        if rec.op is RequestType.FENCE or i % keep_one_in == 0:
+            out.append(rec)
+    return out

@@ -1,0 +1,60 @@
+"""Synthetic benchmark generators — the paper's 12-workload suite.
+
+Each workload reproduces the memory access pattern of one benchmark of
+section 5.2 (SG, HPCG, SSCA2, GRAPPOLO, GAP, BOTS, NAS-PB); see
+DESIGN.md section 4 for the substitution rationale.
+"""
+
+from .base import MemoryLayout, Op, ROW_BYTES, WORD, Workload, interleave_round_robin
+from .bots import BotsSort, NQueens, SparseLU
+from .bots_extra import BotsFib, BotsHealth
+from .gap import GAPBFS, GAPPageRank
+from .gap_extra import GAPConnectedComponents, GAPSSSP, GAPTriangleCounting
+from .graphs import CSRGraph, edges_to_csr, rmat_csr, rmat_edges, uniform_csr, uniform_edges
+from .grappolo import Grappolo
+from .hpcg import HPCG
+from .nas import NASIS, NASMG, NASSP
+from .nas_extra import NASCG, NASFT
+from .registry import AUXILIARY, BENCHMARKS, all_benchmarks, benchmark_names, make
+from .sg import ScatterGather, SequentialSG
+from .ssca2 import SSCA2
+
+__all__ = [
+    "AUXILIARY",
+    "BENCHMARKS",
+    "BotsFib",
+    "BotsHealth",
+    "BotsSort",
+    "CSRGraph",
+    "GAPBFS",
+    "GAPConnectedComponents",
+    "GAPPageRank",
+    "GAPSSSP",
+    "GAPTriangleCounting",
+    "Grappolo",
+    "HPCG",
+    "MemoryLayout",
+    "NASCG",
+    "NASFT",
+    "NASIS",
+    "NASMG",
+    "NASSP",
+    "NQueens",
+    "Op",
+    "ROW_BYTES",
+    "ScatterGather",
+    "SequentialSG",
+    "SparseLU",
+    "SSCA2",
+    "WORD",
+    "Workload",
+    "all_benchmarks",
+    "benchmark_names",
+    "edges_to_csr",
+    "interleave_round_robin",
+    "make",
+    "rmat_csr",
+    "rmat_edges",
+    "uniform_csr",
+    "uniform_edges",
+]

@@ -1,0 +1,107 @@
+"""Shared graph substrate for the graph-analytics workloads.
+
+SSCA2, Grappolo and the GAP kernels all traverse compressed-sparse-row
+(CSR) graphs.  This module builds deterministic R-MAT (power-law) and
+uniform random graphs as CSR arrays — real adjacency structure, so the
+generators below issue the genuine gather/scatter address streams of
+graph analytics rather than unstructured noise.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """CSR adjacency: ``neighbors[row_ptr[v]:row_ptr[v+1]]`` for vertex v."""
+
+    row_ptr: np.ndarray
+    neighbors: np.ndarray
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.row_ptr) - 1
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.neighbors)
+
+    def degree(self, v: int) -> int:
+        return int(self.row_ptr[v + 1] - self.row_ptr[v])
+
+    def neighbors_of(self, v: int) -> np.ndarray:
+        return self.neighbors[self.row_ptr[v] : self.row_ptr[v + 1]]
+
+
+def rmat_edges(
+    scale: int,
+    edge_factor: int = 16,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: int = 2019,
+) -> np.ndarray:
+    """Kronecker (R-MAT) edge list with the Graph500/SSCA2 parameters.
+
+    Returns an (m, 2) int64 array of directed edges over 2**scale
+    vertices.  Power-law degree structure is what concentrates graph
+    traffic on hub rows — the locality the MAC exploits.
+    """
+    n = 1 << scale
+    m = n * edge_factor
+    rng = np.random.default_rng(seed)
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = a + b
+    abc = a + b + c
+    for bit in range(scale):
+        r = rng.random(m)
+        right = r >= ab  # quadrant c or d: destination bit set
+        r2 = rng.random(m)
+        # Within top half: bit of src set for quadrants b? Standard RMAT:
+        # a=00, b=01, c=10, d=11 over (src_bit, dst_bit).
+        src_bit = (r >= ab).astype(np.int64)
+        dst_bit = np.where(
+            src_bit == 0, (r >= a).astype(np.int64), (r2 >= c / (1 - ab)).astype(np.int64)
+        )
+        src = (src << 1) | src_bit
+        dst = (dst << 1) | dst_bit
+    edges = np.stack([src, dst], axis=1)
+    # Permute vertex labels to avoid degree-locality artifacts of the
+    # Kronecker construction (Graph500 does the same).
+    perm = rng.permutation(n)
+    return perm[edges]
+
+
+def uniform_edges(n: int, m: int, seed: int = 2019) -> np.ndarray:
+    """Erdos-Renyi-style random edge list: m directed edges over n vertices."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, n, size=(m, 2), dtype=np.int64)
+
+
+def edges_to_csr(edges: np.ndarray, n: int) -> CSRGraph:
+    """Build a CSR adjacency from a directed edge list (self-loops kept)."""
+    src = edges[:, 0]
+    dst = edges[:, 1]
+    order = np.argsort(src, kind="stable")
+    sorted_dst = dst[order].astype(np.int64)
+    counts = np.bincount(src, minlength=n)
+    row_ptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=row_ptr[1:])
+    return CSRGraph(row_ptr=row_ptr, neighbors=sorted_dst)
+
+
+def rmat_csr(scale: int, edge_factor: int = 16, seed: int = 2019) -> CSRGraph:
+    """R-MAT graph in CSR form (2**scale vertices)."""
+    edges = rmat_edges(scale, edge_factor, seed=seed)
+    return edges_to_csr(edges, 1 << scale)
+
+
+def uniform_csr(n: int, degree: int = 16, seed: int = 2019) -> CSRGraph:
+    """Uniform random graph in CSR form."""
+    edges = uniform_edges(n, n * degree, seed)
+    return edges_to_csr(edges, n)

@@ -1,0 +1,123 @@
+"""Set-associative cache model tests."""
+
+import pytest
+
+from repro.cache.cache import SetAssociativeCache
+
+
+def cache(**kw):
+    defaults = dict(capacity_bytes=1024, line_bytes=64, ways=2)
+    defaults.update(kw)
+    return SetAssociativeCache(**defaults)
+
+
+class TestBasics:
+    def test_compulsory_miss_then_hit(self):
+        c = cache()
+        assert not c.access(0x100)
+        assert c.access(0x100)
+        assert c.access(0x13F)  # same line
+        assert c.stats.misses == 1 and c.stats.hits == 2
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            cache(line_bytes=60)
+        with pytest.raises(ValueError):
+            cache(capacity_bytes=1000)
+        with pytest.raises(ValueError):
+            SetAssociativeCache(capacity_bytes=64 * 2 * 3, line_bytes=64, ways=2)
+
+    def test_flush(self):
+        c = cache()
+        c.access(0x100)
+        c.flush()
+        assert not c.contains(0x100)
+
+    def test_contains_is_pure(self):
+        c = cache()
+        c.access(0x100)
+        before = c.stats.accesses
+        assert c.contains(0x100)
+        assert c.stats.accesses == before
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        # 2-way, 8 sets; three lines in the same set.
+        c = cache()
+        sets = c.sets
+        a, b, d = 0, sets * 64, 2 * sets * 64
+        c.access(a)
+        c.access(b)
+        c.access(d)  # evicts a (LRU)
+        assert not c.contains(a)
+        assert c.contains(b) and c.contains(d)
+
+    def test_touch_refreshes_lru(self):
+        c = cache()
+        sets = c.sets
+        a, b, d = 0, sets * 64, 2 * sets * 64
+        c.access(a)
+        c.access(b)
+        c.access(a)  # a becomes MRU
+        c.access(d)  # evicts b
+        assert c.contains(a) and not c.contains(b)
+
+    def test_eviction_counter(self):
+        c = cache()
+        sets = c.sets
+        for i in range(3):
+            c.access(i * sets * 64)
+        assert c.stats.evictions == 1
+
+
+class TestPrefetch:
+    def test_next_line_prefetched(self):
+        c = cache(prefetch_next_line=True)
+        c.access(0x000)  # miss, prefetch line 1
+        assert c.contains(0x40)
+        assert c.stats.prefetch_issued == 1
+
+    def test_tagged_streaming(self):
+        """A unit-stride stream misses only at page boundaries."""
+        c = cache(capacity_bytes=4096, ways=4, prefetch_next_line=True)
+        for addr in range(0, 16384, 8):
+            c.access(addr)
+        # One miss per 4 KB page (4 pages).
+        assert c.stats.misses == 4
+
+    def test_prefetch_stops_at_page_boundary(self):
+        c = cache(prefetch_next_line=True)
+        last_line_of_page = 4096 - 64
+        c.access(last_line_of_page)
+        assert not c.contains(4096)
+
+    def test_no_prefetch_by_default(self):
+        c = cache()
+        c.access(0x000)
+        assert not c.contains(0x40)
+
+    def test_prefetch_hit_counted(self):
+        c = cache(prefetch_next_line=True)
+        c.access(0x00)
+        c.access(0x40)
+        assert c.stats.prefetch_hits == 1
+
+
+class TestMissRates:
+    def test_random_large_misses(self):
+        import random
+
+        rng = random.Random(1)
+        c = cache(capacity_bytes=4096, ways=4)
+        for _ in range(4000):
+            c.access(rng.randrange(1 << 30))
+        assert c.stats.miss_rate > 0.95
+
+    def test_resident_working_set_hits(self):
+        c = cache(capacity_bytes=4096, ways=4)
+        for _ in range(4):
+            for addr in range(0, 2048, 64):
+                c.access(addr)
+        # After the first cold pass, everything hits.
+        assert c.stats.misses == 32

@@ -1,0 +1,158 @@
+"""Unit tests for the two-stage pipelined Request Builder (section 4.2)."""
+
+import pytest
+
+from repro.core.address import AddressCodec
+from repro.core.arq import AggregatedRequestQueue
+from repro.core.builder import RequestBuilder, bypass_packet
+from repro.core.config import MACConfig
+from repro.core.flit_table import FlitTablePolicy
+from repro.core.request import MemoryRequest, RequestType
+
+CFG = MACConfig(latency_hiding=False)
+
+
+def entry_for(addrs, rtype=RequestType.LOAD):
+    arq = AggregatedRequestQueue(CFG)
+    for i, a in enumerate(addrs):
+        assert arq.push(MemoryRequest(addr=a, rtype=rtype, tid=0, tag=i))
+    assert len(arq) == 1
+    return arq.pop()
+
+
+class TestFunctionalBuild:
+    def test_paper_fig8_example(self):
+        """FLITs 6,8,9 -> pattern 0110 -> one 128 B packet at offset 64."""
+        entry = entry_for([0xA60, 0xA80, 0xA90])
+        builder = RequestBuilder(CFG)
+        pkts = builder.build(entry)
+        assert len(pkts) == 1
+        pkt = pkts[0]
+        assert pkt.size == 128
+        assert pkt.addr == 0xA00 + 64
+        assert pkt.raw_count == 3
+        assert pkt.rtype is RequestType.LOAD
+
+    def test_single_flit_builds_64(self):
+        entry = entry_for([0xA00])
+        pkts = RequestBuilder(CFG).build(entry)
+        assert pkts[0].size == 64
+        assert pkts[0].addr == 0xA00
+
+    def test_full_row_builds_256(self):
+        entry = entry_for([0xA00 | (f << 4) for f in range(12)])  # 12-target cap
+        pkts = RequestBuilder(CFG).build(entry)
+        assert pkts[0].size == 256
+        assert pkts[0].addr == 0xA00
+
+    def test_store_entry_builds_store_packet(self):
+        entry = entry_for([0xB00, 0xB10], rtype=RequestType.STORE)
+        pkt = RequestBuilder(CFG).build(entry)[0]
+        assert pkt.rtype is RequestType.STORE
+        assert pkt.is_write
+
+    def test_targets_partition_across_exact_segments(self):
+        """EXACT policy splits sparse rows; targets follow their chunk."""
+        entry = entry_for([0xA00, 0xAF0])  # chunks 0 and 3
+        builder = RequestBuilder(CFG, policy=FlitTablePolicy.EXACT)
+        pkts = builder.build(entry)
+        assert len(pkts) == 2
+        assert [p.raw_count for p in pkts] == [1, 1]
+        assert pkts[0].covers(0xA00) and pkts[1].covers(0xAF0)
+
+    def test_every_target_covered(self):
+        entry = entry_for([0xA00 | (f << 4) for f in (1, 5, 9, 13)])
+        for policy in FlitTablePolicy:
+            pkts = RequestBuilder(CFG, policy=policy).build(entry)
+            for t, raw in zip(entry.targets, entry.requests):
+                flit_addr = 0xA00 + t.flit_id * 16
+                assert any(p.covers(flit_addr) for p in pkts)
+
+
+class TestPipelineTiming:
+    def test_issue_rate_is_half(self):
+        """Section 4.4: the builder issues 0.5 packets per cycle."""
+        builder = RequestBuilder(CFG)
+        cycle = 0
+        emitted = []
+        for i in range(10):
+            while not builder.can_accept():
+                emitted.extend(builder.tick(cycle))
+                cycle += 1
+            builder.accept(entry_for([0x100 * (i + 1)]))
+            emitted.extend(builder.tick(cycle))
+            cycle += 1
+        while builder.busy:
+            emitted.extend(builder.tick(cycle))
+            cycle += 1
+        assert len(emitted) == 10
+        # Steady-state spacing between completions is pop_interval = 2.
+        gaps = [
+            b.issue_cycle - a.issue_cycle for a, b in zip(emitted[1:-1], emitted[2:])
+        ]
+        assert all(g == 2 for g in gaps)
+
+    def test_first_packet_latency_is_three_cycles(self):
+        """Stage 1 (1 cycle) + stage 2 (2 cycles) = 3 cycles end to end.
+
+        With 0-indexed ticks the packet emerges on the third tick, i.e.
+        issue_cycle == 2 after occupying cycles 0, 1 and 2.
+        """
+        builder = RequestBuilder(CFG)
+        builder.accept(entry_for([0x100]))
+        out = []
+        ticks = 0
+        for cycle in range(5):
+            out.extend(builder.tick(cycle))
+            ticks += 1
+            if out:
+                break
+        assert ticks == 3
+        assert out[0].issue_cycle == 2
+
+    def test_accept_when_busy_raises(self):
+        builder = RequestBuilder(CFG)
+        builder.accept(entry_for([0x100]))
+        with pytest.raises(RuntimeError):
+            builder.accept(entry_for([0x200]))
+
+    def test_fence_rejected(self):
+        builder = RequestBuilder(CFG)
+        arq = AggregatedRequestQueue(CFG)
+        arq.push(MemoryRequest(addr=0, rtype=RequestType.FENCE))
+        with pytest.raises(ValueError):
+            builder.accept(arq.pop())
+
+    def test_flush_drains_both_stages(self):
+        builder = RequestBuilder(CFG)
+        builder.accept(entry_for([0x100]))
+        builder.tick(0)  # moves into stage 2
+        builder.accept(entry_for([0x200]))
+        pkts = builder.flush(1)
+        assert len(pkts) == 2
+        assert not builder.busy
+
+
+class TestBypassPacket:
+    def test_single_flit_16b(self):
+        arq = AggregatedRequestQueue(CFG)
+        arq.push(MemoryRequest(addr=0xA63, rtype=RequestType.LOAD, tid=3, tag=9))
+        entry = arq.pop()
+        pkt = bypass_packet(entry, AddressCodec(CFG), CFG)
+        assert pkt.size == 16
+        assert pkt.addr == 0xA60  # FLIT aligned
+        assert pkt.bypassed
+        assert pkt.targets[0].tid == 3
+
+    def test_atomic_bypass(self):
+        arq = AggregatedRequestQueue(CFG)
+        arq.push(MemoryRequest(addr=0xB20, rtype=RequestType.ATOMIC))
+        pkt = bypass_packet(arq.pop(), AddressCodec(CFG), CFG)
+        assert pkt.rtype is RequestType.ATOMIC
+        assert pkt.size == 16
+
+    def test_fence_bypass_raises(self):
+        arq = AggregatedRequestQueue(CFG)
+        arq.push(MemoryRequest(addr=0, rtype=RequestType.FENCE))
+        with pytest.raises(ValueError):
+            bypass_packet(arq.pop(), AddressCodec(CFG), CFG)

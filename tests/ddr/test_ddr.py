@@ -1,0 +1,152 @@
+"""Tests for the DDR4 substrate (open-page banks, FR-FCFS, channel)."""
+
+import random
+
+import pytest
+
+from repro.core.packet import CoalescedRequest
+from repro.core.request import RequestType
+from repro.ddr.bank import AccessKind, DDRBank
+from repro.ddr.controller import FRFCFSController
+from repro.ddr.device import DDRConfig, DDRDevice
+from repro.ddr.timing import DDRTiming
+
+T = DDRTiming()
+
+
+class TestTiming:
+    def test_latency_ordering(self):
+        assert T.row_hit_latency < T.row_miss_latency < T.row_conflict_latency
+
+    def test_unloaded_ddr4_latency_plausible(self):
+        # ~47 ns for a row-miss read: typical DDR4 loaded-idle latency.
+        dev = DDRDevice()
+        ns = dev.unloaded_read_latency() / 3.3
+        assert 30 < ns < 70
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DDRTiming(t_rcd=-1)
+
+
+class TestOpenPageBank:
+    def test_first_access_is_miss(self):
+        bank = DDRBank(T)
+        assert bank.classify(5) is AccessKind.MISS
+        bank.access(0, 5)
+        assert bank.misses == 1
+
+    def test_same_row_hits(self):
+        """Open page: the row stays open — unlike the HMC bank."""
+        bank = DDRBank(T)
+        bank.access(0, 5)
+        assert bank.classify(5) is AccessKind.HIT
+        done = bank.access(10_000, 5)
+        assert bank.hits == 1
+        assert bank.activations == 1  # no re-activation
+        assert done == 10_000 + T.row_hit_latency
+
+    def test_different_row_conflicts(self):
+        bank = DDRBank(T)
+        bank.access(0, 5)
+        bank.access(10_000, 9)
+        assert bank.conflicts == 1
+        assert bank.activations == 2
+
+    def test_tras_respected(self):
+        bank = DDRBank(T)
+        bank.access(0, 1)
+        # Immediate conflict: precharge cannot start before tRAS.
+        done = bank.access(0, 2)
+        assert done >= T.t_ras + T.row_conflict_latency - T.t_rp
+
+    def test_row_hit_rate(self):
+        bank = DDRBank(T)
+        for _ in range(4):
+            bank.access(0, 7)
+        assert bank.row_hit_rate == 0.75
+
+    def test_negative_arrival(self):
+        with pytest.raises(ValueError):
+            DDRBank(T).access(-1, 0)
+
+
+class TestFRFCFS:
+    def test_row_hits_served_first(self):
+        """The defining reorder: a younger row hit beats an older miss."""
+        c = FRFCFSController(banks=2)
+        c.banks[0].access(0, row=5)  # open row 5 on bank 0
+        start = c.banks[0].ready_cycle
+        c.enqueue(start, bank=0, row=9, tag=1)  # older, conflict
+        c.enqueue(start + 1, bank=0, row=5, tag=2)  # younger, hit
+        first = c.service_one(start + 2)
+        assert first.tag == 2
+        assert c.stats.reordered == 1
+
+    def test_fcfs_without_hits(self):
+        c = FRFCFSController(banks=2)
+        c.enqueue(0, bank=0, row=1, tag=1)
+        c.enqueue(1, bank=1, row=2, tag=2)
+        assert c.service_one(5).tag == 1
+
+    def test_queue_capacity(self):
+        c = FRFCFSController(banks=2, queue_depth=1)
+        assert c.enqueue(0, 0, 1, 1)
+        assert not c.enqueue(0, 0, 2, 2)
+
+    def test_drain_serves_everything(self):
+        c = FRFCFSController(banks=4)
+        for i in range(40):
+            c.enqueue(i, bank=i % 4, row=i % 3, tag=i)
+        done = c.drain()
+        assert len(done) == 40
+        assert all(r.complete_cycle > r.arrival for r in done)
+
+    def test_invalid_bank(self):
+        c = FRFCFSController(banks=2)
+        with pytest.raises(ValueError):
+            c.enqueue(0, bank=2, row=0, tag=0)
+
+    def test_invalid_bank_count(self):
+        with pytest.raises(ValueError):
+            FRFCFSController(banks=3)
+
+
+class TestDDRDevice:
+    def read(self, addr, size=64):
+        return CoalescedRequest(addr=addr, size=size, rtype=RequestType.LOAD)
+
+    def test_sequential_stream_harvests_row_hits(self):
+        dev = DDRDevice()
+        for i in range(256):
+            dev.submit(self.read(i * 64), i)
+        dev.run()
+        assert dev.row_hit_rate > 0.7
+
+    def test_random_stream_cannot_be_harvested(self):
+        """Section 2.2.1's motivation: irregular traffic defeats the
+        conventional row-hit harvester even on open-page DDR."""
+        dev = DDRDevice()
+        rng = random.Random(3)
+        for i in range(256):
+            dev.submit(self.read(rng.randrange(1 << 28) & ~63), i)
+        dev.run()
+        assert dev.row_hit_rate < 0.1
+
+    def test_large_requests_split_into_lines(self):
+        dev = DDRDevice()
+        dev.submit(self.read(0x0, size=256), 0)
+        dev.run()
+        assert dev.stats.line_accesses == 4
+
+    def test_line_quantization(self):
+        dev = DDRDevice()
+        dev.submit(self.read(0x10, size=16), 0)  # sub-line access
+        dev.run()
+        assert dev.stats.line_accesses == 1  # still one full 64 B line
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DDRConfig(line_bytes=60)
+        with pytest.raises(ValueError):
+            DDRConfig(row_bytes=100)

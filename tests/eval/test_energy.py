@@ -1,0 +1,55 @@
+"""Energy-model tests."""
+
+import pytest
+
+from repro.core.packet import CoalescedRequest
+from repro.core.request import RequestType
+from repro.eval.energy import EnergyParams, EnergyReport, energy_saving, stream_energy
+
+
+def pkt(size):
+    return CoalescedRequest(addr=0x1000, size=size, rtype=RequestType.LOAD)
+
+
+class TestStreamEnergy:
+    def test_breakdown(self):
+        p = EnergyParams(link_pj_per_bit=10, activation_pj_per_row=1000, column_pj_per_bit=2)
+        report = stream_energy([pkt(64)], p)
+        assert report.link_pj == (64 + 32) * 8 * 10
+        assert report.activation_pj == 1000
+        assert report.column_pj == 64 * 8 * 2
+        assert report.total_pj == report.link_pj + report.activation_pj + report.column_pj
+
+    def test_per_packet(self):
+        report = stream_energy([pkt(16), pkt(16)])
+        assert report.pj_per_packet == pytest.approx(report.total_pj / 2)
+
+    def test_empty(self):
+        report = stream_energy([])
+        assert report.total_pj == 0
+        assert report.pj_per_packet == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EnergyParams(link_pj_per_bit=-1)
+
+
+class TestSaving:
+    def test_fig2_scenario_saves_energy(self):
+        """16 raw 16 B accesses vs one 256 B: fewer activations and far
+        less control traffic on the links."""
+        raw = [pkt(16) for _ in range(16)]
+        mac = [pkt(256)]
+        saving = energy_saving(raw, mac)
+        assert saving > 0.5
+
+    def test_identical_streams_save_nothing(self):
+        s = [pkt(64)]
+        assert energy_saving(s, s) == 0.0
+
+    def test_activation_energy_dominates_small_access_regime(self):
+        p = EnergyParams(link_pj_per_bit=0.01, activation_pj_per_row=900, column_pj_per_bit=0.01)
+        raw = stream_energy([pkt(16) for _ in range(16)], p)
+        mac = stream_energy([pkt(256)], p)
+        # 16 activations vs 1: ~16x energy in this regime.
+        assert raw.activation_pj == 16 * mac.activation_pj

@@ -1,0 +1,58 @@
+"""Unit tests for the open-page row-length study (section 2.2.1)."""
+
+import random
+
+import pytest
+
+from repro.core.packet import CoalescedRequest
+from repro.core.request import RequestType
+from repro.eval.page_policy import open_page_hit_rate, row_length_study
+
+
+def read(addr):
+    return CoalescedRequest(addr=addr, size=16, rtype=RequestType.LOAD)
+
+
+class TestOpenPageHitRate:
+    def test_back_to_back_same_row_hits(self):
+        pkts = [read(0x2000 + 16 * i) for i in range(16)]
+        assert open_page_hit_rate(pkts, row_bytes=256) == pytest.approx(15 / 16)
+
+    def test_row_crossing_stream(self):
+        """A unit stride stream hits within each row, misses at each
+        row boundary: hit rate = 1 - rows/accesses."""
+        pkts = [read(16 * i) for i in range(64)]  # 4 x 256 B rows
+        assert open_page_hit_rate(pkts, row_bytes=256) == pytest.approx(60 / 64)
+
+    def test_longer_rows_hit_more(self):
+        rng = random.Random(5)
+        # Clustered traffic: runs of 8 accesses at random 1 KB bases.
+        pkts = []
+        for _ in range(60):
+            base = rng.randrange(1 << 20) & ~0x3FF
+            pkts.extend(read(base + 16 * k) for k in range(8))
+        short = open_page_hit_rate(pkts, row_bytes=128)
+        long_ = open_page_hit_rate(pkts, row_bytes=8192)
+        assert long_ > short
+
+    def test_random_traffic_rarely_hits(self):
+        rng = random.Random(9)
+        pkts = [read(rng.randrange(1 << 30) & ~15) for _ in range(400)]
+        assert open_page_hit_rate(pkts, row_bytes=256) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            open_page_hit_rate([], row_bytes=300)
+        with pytest.raises(ValueError):
+            open_page_hit_rate([], row_bytes=256, banks=7)
+
+    def test_empty_stream(self):
+        assert open_page_hit_rate([], row_bytes=256) == 0.0
+
+
+class TestRowLengthStudy:
+    def test_returns_all_lengths(self):
+        pkts = [read(16 * i) for i in range(32)]
+        study = row_length_study(pkts, (256, 8192))
+        assert set(study) == {256, 8192}
+        assert study[8192] >= study[256]

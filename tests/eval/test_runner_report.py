@@ -1,0 +1,80 @@
+"""Runner machinery and report formatting tests."""
+
+import pytest
+
+from repro.eval.report import format_comparison, format_table, human_bytes, pct
+from repro.eval.runner import (
+    cached_trace,
+    compare_policies,
+    dispatch,
+    replay_on_device,
+)
+
+
+class TestCachedTrace:
+    def test_is_cached(self):
+        a = cached_trace("SG", 2, 200)
+        b = cached_trace("SG", 2, 200)
+        assert a is b
+
+    def test_distinct_keys(self):
+        assert cached_trace("SG", 2, 200) is not cached_trace("SG", 2, 201)
+
+
+class TestDispatch:
+    def test_mac_policy(self):
+        res = dispatch("SG", "mac", threads=2, ops_per_thread=300)
+        assert res.stats.coalescing_efficiency > 0
+        assert res.packets
+
+    def test_raw_policy_no_coalescing(self):
+        res = dispatch("SG", "raw", threads=2, ops_per_thread=300)
+        assert res.stats.coalescing_efficiency == 0.0
+        assert all(p.size == 16 for p in res.packets)
+
+    def test_cycle_policy_agrees_roughly(self):
+        fast = dispatch("SG", "mac", threads=2, ops_per_thread=300)
+        cyc = dispatch("SG", "mac-cycle", threads=2, ops_per_thread=300)
+        assert (
+            abs(
+                fast.stats.coalescing_efficiency
+                - cyc.stats.coalescing_efficiency
+            )
+            < 0.25
+        )
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            dispatch("SG", "nope")
+
+
+class TestReplay:
+    def test_raw_vs_mac(self):
+        res = compare_policies("SG", threads=2, ops_per_thread=400)
+        assert res["raw"].bank_conflicts >= res["mac"].bank_conflicts
+        assert res["raw"].wire_bytes > res["mac"].wire_bytes
+
+    def test_negative_cadence_rejected(self):
+        with pytest.raises(ValueError):
+            replay_on_device([], cycles_per_packet=-1)
+
+
+class TestReport:
+    def test_format_table(self):
+        text = format_table(["a", "bee"], [[1, 2.34567], ["x", "y"]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "2.346" in text
+
+    def test_format_comparison_with_paper(self):
+        text = format_comparison("t", {"SG": 0.6}, paper={"SG": 0.62})
+        assert "0.62" in text and "0.6" in text
+
+    def test_pct(self):
+        assert pct(0.5286) == "52.86%"
+
+    def test_human_bytes(self):
+        assert human_bytes(512) == "512 B"
+        assert human_bytes(2048) == "2.00 KiB"
+        assert "GiB" in human_bytes(22.76 * (1 << 30))

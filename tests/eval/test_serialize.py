@@ -1,0 +1,78 @@
+"""Config/stats serialization tests."""
+
+import pytest
+
+from repro.core.config import MACConfig, SystemConfig
+from repro.core.mac import coalesce_trace_fast
+from repro.core.request import MemoryRequest, RequestType
+from repro.core.stats import MACStats
+from repro.ddr.device import DDRConfig
+from repro.eval.serialize import (
+    config_from_dict,
+    config_to_dict,
+    load_config,
+    save_config,
+    stats_to_dict,
+)
+from repro.hbm.config import HBMConfig
+from repro.hmc.config import HMCConfig
+
+
+class TestConfigRoundtrip:
+    @pytest.mark.parametrize(
+        "cfg",
+        [
+            MACConfig(),
+            MACConfig(arq_entries=64, row_bytes=1024, max_request_bytes=1024),
+            SystemConfig(),
+            HMCConfig(),
+            HBMConfig(),
+            DDRConfig(),
+        ],
+        ids=lambda c: type(c).__name__,
+    )
+    def test_roundtrip(self, cfg):
+        assert config_from_dict(config_to_dict(cfg)) == cfg
+
+    def test_nested_configs(self):
+        sysc = SystemConfig(mac=MACConfig(arq_entries=8))
+        back = config_from_dict(config_to_dict(sysc))
+        assert back.mac.arq_entries == 8
+
+    def test_file_roundtrip(self, tmp_path):
+        p = tmp_path / "cfg.json"
+        save_config(HMCConfig(), p)
+        assert load_config(p) == HMCConfig()
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ValueError):
+            config_from_dict({"__type__": "Nope"})
+        with pytest.raises(ValueError):
+            config_from_dict({"arq_entries": 32})
+
+    def test_unregistered_object_rejected(self):
+        with pytest.raises(TypeError):
+            config_to_dict(object())
+
+    def test_validation_applies_on_load(self):
+        data = config_to_dict(MACConfig())
+        data["arq_entries"] = 0
+        with pytest.raises(ValueError):
+            config_from_dict(data)
+
+
+class TestStatsExport:
+    def test_dict_matches_properties(self):
+        reqs = [
+            MemoryRequest(addr=0xA00 | (f << 4), rtype=RequestType.LOAD, tag=f)
+            for f in range(6)
+        ]
+        st = MACStats()
+        coalesce_trace_fast(reqs, MACConfig(), stats=st)
+        d = stats_to_dict(st)
+        assert d["raw_requests"] == 6
+        assert d["coalescing_efficiency"] == st.coalescing_efficiency
+        assert d["packet_sizes"] == st.packet_sizes
+        import json
+
+        json.dumps(d)  # must be JSON-serializable

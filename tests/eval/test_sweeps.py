@@ -1,0 +1,69 @@
+"""Parameter-sweep utility tests."""
+
+import pytest
+
+from repro.core.config import MACConfig
+from repro.eval.sweeps import SweepPoint, best_point, format_sweep, sweep_grid
+
+
+class TestSweepGrid:
+    def test_grid_shape(self):
+        pts = sweep_grid(
+            {"arq_entries": [8, 32], "latency_hiding": [True, False]},
+            workloads=("SG",),
+            ops_per_thread=300,
+        )
+        assert len(pts) == 4
+        combos = {p.params for p in pts}
+        assert len(combos) == 4
+
+    def test_multiple_workloads(self):
+        pts = sweep_grid({"arq_entries": [16]}, workloads=("SG", "IS"), ops_per_thread=300)
+        assert {p.workload for p in pts} == {"SG", "IS"}
+
+    def test_efficiency_monotone_in_entries(self):
+        pts = sweep_grid(
+            {"arq_entries": [4, 64]}, workloads=("MG",), ops_per_thread=400
+        )
+        by_entries = {p.param("arq_entries"): p.efficiency for p in pts}
+        assert by_entries[64] >= by_entries[4]
+
+    def test_row_bytes_axis_adjusts_max_request(self):
+        pts = sweep_grid({"row_bytes": [256, 1024]}, workloads=("SG",), ops_per_thread=300)
+        assert len(pts) == 2  # no validation error from max > row
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid({"bogus_field": [1]})
+
+    def test_empty_axes_rejected(self):
+        with pytest.raises(ValueError):
+            sweep_grid({})
+
+    def test_base_config_respected(self):
+        base = MACConfig(latency_hiding=False)
+        pts = sweep_grid(
+            {"arq_entries": [8]}, workloads=("SG",), ops_per_thread=300, base=base
+        )
+        assert pts  # runs without error under a custom base
+
+
+class TestReporting:
+    def test_format_sweep(self):
+        pts = sweep_grid({"arq_entries": [8]}, workloads=("SG",), ops_per_thread=200)
+        text = format_sweep(pts)
+        assert "arq_entries" in text and "SG" in text
+
+    def test_format_empty(self):
+        assert "empty" in format_sweep([])
+
+    def test_best_point(self):
+        pts = sweep_grid(
+            {"arq_entries": [4, 64]}, workloads=("SG", "MG"), ops_per_thread=300
+        )
+        best = best_point(pts)
+        assert best.param("arq_entries") == 64
+
+    def test_best_point_empty_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([])

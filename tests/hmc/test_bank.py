@@ -1,0 +1,93 @@
+"""Unit + property tests for the closed-page bank model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.hmc.bank import Bank
+from repro.hmc.timing import HMCTiming
+
+T = HMCTiming()
+
+
+class TestClosedPage:
+    def test_every_access_activates(self):
+        """Closed-page policy: no row-buffer hits ever (section 2.2.1)."""
+        bank = Bank(T)
+        t = 0
+        for i in range(5):
+            t = bank.access(t + 1000, dram_row=7, columns=1)  # same row!
+        assert bank.activations == 5  # even repeated-row accesses activate
+
+    def test_unloaded_access_timing(self):
+        bank = Bank(T)
+        done = bank.access(0, dram_row=1, columns=1)
+        assert done == T.t_activate + T.t_column + T.cycles_per_column
+
+    def test_occupancy_includes_precharge(self):
+        bank = Bank(T)
+        bank.access(0, dram_row=1, columns=1)
+        assert bank.ready_cycle == T.bank_occupancy(1)
+
+    def test_larger_bursts_occupy_longer(self):
+        b1, b8 = Bank(T), Bank(T)
+        b1.access(0, 1, columns=1)
+        b8.access(0, 1, columns=8)
+        assert b8.ready_cycle - b1.ready_cycle == 7 * T.cycles_per_column
+
+
+class TestConflicts:
+    def test_conflict_counted_and_serialized(self):
+        bank = Bank(T)
+        first_done = bank.access(0, 1, 1)
+        second_done = bank.access(1, 2, 1)
+        assert bank.conflicts == 1
+        # Second access starts only after the first's precharge.
+        assert second_done == T.bank_occupancy(1) + T.t_activate + T.t_column + T.cycles_per_column
+        assert second_done > first_done
+
+    def test_no_conflict_when_spaced(self):
+        bank = Bank(T)
+        bank.access(0, 1, 1)
+        bank.access(T.bank_occupancy(1), 2, 1)
+        assert bank.conflicts == 0
+
+    def test_paper_fig2_16_requests_15_conflicts(self):
+        """16 simultaneous same-row 16 B requests -> 15 bank conflicts."""
+        bank = Bank(T)
+        for _ in range(16):
+            bank.access(0, dram_row=3, columns=1)
+        assert bank.conflicts == 15
+        assert bank.accesses == 16
+
+    def test_conflict_rate(self):
+        bank = Bank(T)
+        for _ in range(4):
+            bank.access(0, 1, 1)
+        assert bank.conflict_rate == 0.75
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            Bank(T).access(-1, 0, 1)
+
+
+class TestProperties:
+    @given(
+        arrivals=st.lists(st.integers(0, 10_000), min_size=1, max_size=30),
+        columns=st.integers(1, 8),
+    )
+    def test_no_overlapping_service(self, arrivals, columns):
+        """Service windows never overlap: each access's data-ready time
+        is strictly after the previous access's data-ready time."""
+        bank = Bank(T)
+        last_done = -1
+        for a in sorted(arrivals):
+            done = bank.access(a, dram_row=a % 7, columns=columns)
+            assert done > last_done
+            last_done = done
+
+    @given(arrivals=st.lists(st.integers(0, 5_000), min_size=2, max_size=20))
+    def test_busy_cycles_accounting(self, arrivals):
+        bank = Bank(T)
+        for a in sorted(arrivals):
+            bank.access(a, 0, 1)
+        assert bank.busy_cycles == bank.accesses * T.bank_occupancy(1)

@@ -1,0 +1,68 @@
+"""Wire-level packet encoding tests."""
+
+import pytest
+
+from repro.core.packet import CoalescedRequest
+from repro.core.request import RequestType
+from repro.hmc.config import HMCConfig
+from repro.hmc.packet import HMCCommand, encode, packet_crc, verify_crc
+
+CFG = HMCConfig()
+
+
+def pkt(addr=0x1000, size=64, rtype=RequestType.LOAD):
+    return CoalescedRequest(addr=addr, size=size, rtype=rtype)
+
+
+class TestEncode:
+    def test_read_flit_counts(self):
+        w = encode(pkt(size=64), CFG)
+        assert w.command is HMCCommand.RD
+        assert w.request_flits == 1
+        assert w.response_flits == 5
+        assert w.payload_bytes == 64
+        assert w.control_bytes == 32
+
+    def test_write_flit_counts(self):
+        w = encode(pkt(size=64, rtype=RequestType.STORE), CFG)
+        assert w.command is HMCCommand.WR
+        assert w.request_flits == 5
+        assert w.response_flits == 1
+
+    def test_atomic(self):
+        w = encode(pkt(size=16, rtype=RequestType.ATOMIC), CFG)
+        assert w.command is HMCCommand.ATOMIC
+
+    def test_vault_bank_row_extracted(self):
+        w = encode(pkt(addr=0xABCD00), CFG)
+        assert w.vault == CFG.vault_of(0xABCD00)
+        assert w.bank == CFG.bank_of(0xABCD00)
+        assert w.dram_row == CFG.dram_row_of(0xABCD00)
+
+    def test_wire_bytes(self):
+        w = encode(pkt(size=256), CFG)
+        assert w.wire_bytes == 288  # section 2.2.2 example
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            encode(pkt(size=512), CFG)
+        with pytest.raises(ValueError):
+            encode(pkt(addr=0x4, size=16), CFG)
+        with pytest.raises(ValueError):
+            encode(pkt(addr=0x1080, size=256), CFG)  # crosses row
+
+
+class TestCRC:
+    def test_roundtrip(self):
+        p = pkt()
+        assert verify_crc(p, packet_crc(p))
+
+    def test_detects_corruption(self):
+        a, b = pkt(addr=0x1000), pkt(addr=0x1010)
+        assert packet_crc(a) != packet_crc(b)
+        assert not verify_crc(b, packet_crc(a))
+
+    def test_type_matters(self):
+        a = pkt(rtype=RequestType.LOAD)
+        b = pkt(rtype=RequestType.STORE)
+        assert packet_crc(a) != packet_crc(b)

@@ -1,0 +1,47 @@
+"""Timing-model arithmetic tests."""
+
+import pytest
+
+from repro.hmc.timing import HMCTiming
+
+
+class TestTiming:
+    def test_defaults_positive(self):
+        t = HMCTiming()
+        assert t.t_activate > 0 and t.t_column > 0 and t.t_precharge > 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            HMCTiming(t_activate=-1)
+
+    def test_burst_scaling(self):
+        t = HMCTiming()
+        assert t.burst_cycles(8) == 8 * t.cycles_per_column
+
+    def test_bank_occupancy_composition(self):
+        t = HMCTiming()
+        assert t.bank_occupancy(2) == (
+            t.t_activate + t.t_column + 2 * t.cycles_per_column + t.t_precharge
+        )
+
+    def test_unloaded_latency_composition(self):
+        t = HMCTiming()
+        lat = t.unloaded_read_latency(request_flits=1, response_flits=2, columns=1)
+        expected = (
+            1 * t.cycles_per_flit
+            + t.link_latency
+            + t.crossbar_latency
+            + t.vault_processing
+            + t.t_activate
+            + t.t_column
+            + t.cycles_per_column
+            + t.crossbar_latency
+            + t.link_latency
+            + 2 * t.cycles_per_flit
+        )
+        assert lat == expected
+
+    def test_custom_timing_frozen(self):
+        t = HMCTiming()
+        with pytest.raises(AttributeError):
+            t.link_latency = 5

@@ -1,0 +1,82 @@
+"""Assembler tests for the mini ISA."""
+
+import pytest
+
+from repro.isa.assembler import AssemblyError, assemble
+from repro.isa.instructions import Instruction, parse_register
+
+
+class TestRegisters:
+    def test_x_names(self):
+        assert parse_register("x0") == 0
+        assert parse_register("x31") == 31
+
+    def test_abi_aliases(self):
+        assert parse_register("zero") == 0
+        assert parse_register("a0") == 10
+        assert parse_register("a7") == 17
+        assert parse_register("s2") == 18
+        assert parse_register("t0") == 5
+        assert parse_register("t6") == 31
+
+    def test_bad_registers(self):
+        for bad in ("x32", "x-1", "y3", "a9"):
+            with pytest.raises(ValueError):
+                parse_register(bad)
+
+
+class TestAssemble:
+    def test_r_type(self):
+        (ins,) = assemble("add a0, a1, a2")
+        assert ins == Instruction("add", rd=10, rs1=11, rs2=12, line=1)
+
+    def test_i_type_hex_imm(self):
+        (ins,) = assemble("addi t0, t0, 0x10")
+        assert ins.imm == 16
+
+    def test_memory_operands(self):
+        ld, sd = assemble("ld a0, 8(sp)\nsd a0, -16(s0)")
+        assert (ld.rd, ld.rs1, ld.imm) == (10, 2, 8)
+        assert (sd.rs2, sd.rs1, sd.imm) == (10, 8, -16)
+
+    def test_bare_memory_operand(self):
+        (ld,) = assemble("ld a0, (a1)")
+        assert ld.imm == 0
+
+    def test_labels_and_branches(self):
+        prog = assemble("top: addi x1, x1, 1\nbne x1, x2, top\nj top")
+        assert prog[1].target == 0
+        assert prog[2].target == 0
+
+    def test_label_on_own_line(self):
+        prog = assemble("loop:\n  nop\n  j loop")
+        assert prog[1].target == 0
+
+    def test_comments_and_blanks(self):
+        prog = assemble("# header\n\nnop  # trailing\n")
+        assert len(prog) == 1
+
+    def test_spm_ops(self):
+        pf, wb, al = assemble("spm.pf a0, 256\nspm.wb a1, 64\nspm.alloc a2, 128")
+        assert (pf.op, pf.rs1, pf.imm) == ("spm.pf", 10, 256)
+        assert wb.op == "spm.wb"
+        assert al.op == "spm.alloc"
+
+    def test_errors(self):
+        with pytest.raises(AssemblyError):
+            assemble("frobnicate x1")
+        with pytest.raises(AssemblyError):
+            assemble("add x1, x2")  # operand count
+        with pytest.raises(AssemblyError):
+            assemble("beq x1, x2, nowhere")
+        with pytest.raises(AssemblyError):
+            assemble("dup: nop\ndup: nop")
+        with pytest.raises(AssemblyError):
+            assemble("ld a0, 8[sp]")
+        with pytest.raises(AssemblyError):
+            assemble("li a0, banana")
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(AssemblyError) as exc:
+            assemble("nop\nbadop x1")
+        assert exc.value.line_no == 2

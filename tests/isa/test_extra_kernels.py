@@ -1,0 +1,81 @@
+"""Tests for the stencil and GUPS kernels."""
+
+import pytest
+
+from repro.core.config import MACConfig
+from repro.core.mac import coalesce_trace_fast
+from repro.core.request import RequestType
+from repro.core.stats import MACStats
+from repro.isa.kernels import run_gups, run_stencil, run_vector_copy
+from repro.trace.record import to_requests
+
+
+def eff(trace):
+    st = MACStats()
+    coalesce_trace_fast(list(to_requests(trace)), MACConfig(), stats=st)
+    return st.coalescing_efficiency
+
+
+class TestStencil:
+    def test_functional(self):
+        m = run_stencil(elements=64)
+        vals = [i * i % 97 for i in range(64 + 64)]
+        dst = 0x40000
+        # a0 = src + 256, so in[j] = vals[32 + j].
+        for i in range(32, 64):
+            expected = vals[32 + i - 1] + vals[32 + i] + vals[32 + i + 1]
+            assert m.peek(dst + 8 * i) == expected
+
+    def test_pure_block_traffic(self):
+        m = run_stencil(elements=64)
+        assert all(r.size == 16 for r in m.trace)
+
+    def test_coalesces_highly(self):
+        assert eff(run_stencil(elements=128).trace) > 0.8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_stencil(elements=50)
+
+
+class TestGUPS:
+    def test_updates_are_load_store_pairs(self):
+        m = run_gups(updates=32)
+        loads = [r for r in m.trace if r.op is RequestType.LOAD]
+        stores = [r for r in m.trace if r.op is RequestType.STORE]
+        assert len(loads) == len(stores) == 32
+        # Each store updates the address just loaded.
+        for ld, st in zip(loads, stores):
+            assert ld.addr == st.addr
+
+    def test_table_actually_updated(self):
+        m = run_gups(updates=16, table_words=1 << 10)
+        touched = {r.addr for r in m.trace}
+        assert any(m.peek(a) != 0 for a in touched)
+
+    def test_essentially_uncoalescable(self):
+        """GUPS is the canonical irregular benchmark: large table,
+        pseudo-random updates, no spatial locality."""
+        assert eff(run_gups(updates=192, table_words=1 << 14).trace) < 0.15
+
+    def test_small_table_becomes_coalescable(self):
+        small = eff(run_gups(updates=192, table_words=1 << 6).trace)
+        big = eff(run_gups(updates=192, table_words=1 << 14).trace)
+        assert small > big + 0.2
+
+    def test_multi_hart_sequences_differ(self):
+        m = run_gups(updates=32, harts=2)
+        a = [r.addr for r in m.trace if r.tid == 0]
+        b = [r.addr for r in m.trace if r.tid == 1]
+        assert a != b
+
+    def test_power_of_two_enforced(self):
+        with pytest.raises(ValueError):
+            run_gups(table_words=1000)
+
+    def test_ordering_vs_streaming(self):
+        """GUPS < copy on coalescing efficiency — the Fig. 1 story told
+        by actually executed programs."""
+        assert eff(run_gups(updates=96).trace) < eff(
+            run_vector_copy(elements=96).trace
+        )

@@ -1,0 +1,203 @@
+"""Executor tests: functional semantics + trace generation."""
+
+import pytest
+
+from repro.core.request import RequestType
+from repro.isa.machine import ExecutionError, Machine, run_program
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        m = run_program(
+            """
+            li a0, 6
+            li a1, 7
+            mul a2, a0, a1
+            add a3, a2, a0
+            sub a4, a3, a1
+            li t0, 0x100
+            sd a4, 0(t0)
+            halt
+            """
+        )
+        assert m.peek(0x100) == 41
+
+    def test_x0_is_hardwired_zero(self):
+        m = run_program(
+            """
+            li x0, 99
+            li t0, 0x100
+            sd x0, 0(t0)
+            halt
+            """
+        )
+        assert m.peek(0x100) == 0
+
+    def test_shifts_and_logic(self):
+        m = run_program(
+            """
+            li a0, 5
+            slli a1, a0, 3    # 40
+            srli a2, a1, 1    # 20
+            li a3, 0xFF
+            and a4, a2, a3
+            or  a5, a4, a0
+            xor a6, a5, a0
+            li t0, 0x200
+            sd a6, 0(t0)
+            halt
+            """
+        )
+        assert m.peek(0x200) == (((5 << 3) >> 1) & 0xFF | 5) ^ 5
+
+    def test_signed_branch(self):
+        m = run_program(
+            """
+            li a0, 0
+            sub a0, a0, a1    # a0 = -a1... a1=0 so craft below
+            li a1, 1
+            sub a0, x0, a1    # a0 = -1
+            li t0, 0x300
+            blt a0, x0, neg
+            li t1, 0
+            j store
+        neg:
+            li t1, 1
+        store:
+            sd t1, 0(t0)
+            halt
+            """
+        )
+        assert m.peek(0x300) == 1
+
+
+class TestLoops:
+    def test_counted_loop(self):
+        m = run_program(
+            """
+            li a0, 0          # sum
+            li a1, 0          # i
+            li a2, 10
+        loop:
+            bge a1, a2, done
+            add a0, a0, a1
+            addi a1, a1, 1
+            j loop
+        done:
+            li t0, 0x400
+            sd a0, 0(t0)
+            halt
+            """
+        )
+        assert m.peek(0x400) == sum(range(10))
+
+    def test_runaway_program_raises(self):
+        with pytest.raises(ExecutionError):
+            run_program("spin: j spin", max_steps=1000)
+
+
+class TestTracing:
+    def test_loads_and_stores_traced(self):
+        m = run_program(
+            """
+            li t0, 0x1000
+            ld a0, 0(t0)
+            sd a0, 8(t0)
+            halt
+            """,
+            data={0x1000: [42]},
+        )
+        assert m.peek(0x1008) == 42
+        ops = [(r.op, r.addr) for r in m.trace]
+        assert ops == [(RequestType.LOAD, 0x1000), (RequestType.STORE, 0x1008)]
+
+    def test_fence_and_atomic_traced(self):
+        m = run_program(
+            """
+            li t0, 0x2000
+            li t1, 5
+            fence
+            amoadd a0, t0, t1
+            amoadd a1, t0, t1
+            halt
+            """
+        )
+        assert m.peek(0x2000) == 10
+        # amoadd returns the old value.
+        kinds = [r.op for r in m.trace]
+        assert kinds == [RequestType.FENCE, RequestType.ATOMIC, RequestType.ATOMIC]
+
+    def test_spm_hits_not_traced(self):
+        m = run_program(
+            """
+            li t0, 0x4000
+            spm.pf t0, 64
+            ld a0, 0(t0)
+            ld a1, 8(t0)
+            halt
+            """,
+            data={0x4000: [7, 9]},
+        )
+        assert m.harts[0].read(10) == 7 and m.harts[0].read(11) == 9
+        # Only the 4 FLIT transfers of the prefetch hit the trace.
+        assert len(m.trace) == 4
+        assert all(r.size == 16 for r in m.trace)
+
+    def test_writeback_unmaps(self):
+        m = run_program(
+            """
+            li t0, 0x4000
+            spm.alloc t0, 32
+            li a0, 3
+            sd a0, 0(t0)
+            spm.wb t0, 32
+            sd a0, 8(t0)       # after wb: off-chip again
+            halt
+            """
+        )
+        stores = [r for r in m.trace if r.op is RequestType.STORE]
+        # 2 FLIT stores from the write-back + 1 word store after it.
+        assert len(stores) == 3
+        assert m.peek(0x4000) == 3 and m.peek(0x4008) == 3
+
+    def test_misaligned_access_faults(self):
+        with pytest.raises(ExecutionError):
+            run_program("li t0, 3\nld a0, 0(t0)\nhalt")
+
+
+class TestMultiHart:
+    def test_round_robin_interleaving(self):
+        m = run_program(
+            """
+            li t0, 0x1000
+            slli t1, a0, 3
+            add t0, t0, t1
+            sd a0, 0(t0)
+            halt
+            """,
+            harts=3,
+            init_regs={h: {10: h} for h in range(3)},
+        )
+        assert [m.peek(0x1000 + 8 * h) for h in range(3)] == [0, 1, 2]
+        # Trace records carry the issuing hart id.
+        assert {r.tid for r in m.trace} == {0, 1, 2}
+
+    def test_atomic_accumulation_across_harts(self):
+        m = run_program(
+            """
+            li t0, 0x8000
+            amoadd a1, t0, a0
+            halt
+            """,
+            harts=4,
+            init_regs={h: {10: h + 1} for h in range(4)},
+        )
+        assert m.peek(0x8000) == 1 + 2 + 3 + 4
+
+    def test_empty_program_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("# only a comment")
+
+    def test_zero_harts_rejected(self):
+        with pytest.raises(ValueError):
+            Machine("halt", harts=0)

@@ -1,0 +1,58 @@
+"""Executable CSR SpMV tests (the HPCG/CG pattern from real execution)."""
+
+import pytest
+
+from repro.core.config import MACConfig
+from repro.core.mac import coalesce_trace_fast
+from repro.core.request import RequestType
+from repro.core.stats import MACStats
+from repro.isa.kernels import run_spmv
+from repro.trace.record import to_requests
+
+
+def eff(trace):
+    st = MACStats()
+    coalesce_trace_fast(list(to_requests(trace)), MACConfig(), stats=st)
+    return st.coalescing_efficiency
+
+
+class TestFunctional:
+    def test_single_hart(self):
+        m = run_spmv(rows=24, harts=1)
+        for i in range(24):
+            assert m.peek(m.y_base + 8 * i) == m.expected_y[i]
+
+    def test_multi_hart_partition(self):
+        m = run_spmv(rows=32, harts=4)
+        for i in range(32):
+            assert m.peek(m.y_base + 8 * i) == m.expected_y[i]
+
+    def test_uneven_partition_rejected(self):
+        with pytest.raises(ValueError):
+            run_spmv(rows=30, harts=4)
+
+
+class TestTraceCharacter:
+    def test_mix_of_streams_and_gathers(self):
+        m = run_spmv(rows=24, nnz_per_row=8)
+        x_lo, x_hi = 0x200000, 0x200000 + (1 << 12) * 8
+        gathers = [r for r in m.trace if x_lo <= r.addr < x_hi]
+        streams = [r for r in m.trace if not x_lo <= r.addr < x_hi]
+        assert gathers and streams
+        # One x-gather per nonzero.
+        assert len(gathers) == 24 * 8
+
+    def test_efficiency_between_copy_and_gups(self):
+        from repro.isa.kernels import run_gups, run_vector_copy
+
+        spmv = eff(run_spmv(rows=32, nnz_per_row=8).trace)
+        copy = eff(run_vector_copy(elements=128).trace)
+        gups = eff(run_gups(updates=192).trace)
+        assert gups < spmv < copy
+
+    def test_small_x_vector_coalesces_like_hpcg(self):
+        """A window-resident x vector makes SpMV highly coalescable —
+        the dense-stencil end of the SpMV spectrum."""
+        dense = eff(run_spmv(rows=32, n_cols=256).trace)
+        sparse = eff(run_spmv(rows=32, n_cols=1 << 14).trace)
+        assert dense > sparse

@@ -1,0 +1,50 @@
+"""Unit tests for the load/store queue."""
+
+import pytest
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.node.lsq import LoadStoreQueue
+
+
+def req(tid, tag, cycle=0):
+    return MemoryRequest(
+        addr=0x100, rtype=RequestType.LOAD, tid=tid, tag=tag, issue_cycle=cycle
+    )
+
+
+class TestLSQ:
+    def test_insert_and_complete(self):
+        lsq = LoadStoreQueue(4)
+        r = req(1, 2)
+        assert lsq.insert(r)
+        out = lsq.complete(1, 2, cycle=300)
+        assert out is r
+        assert r.complete_cycle == 300
+        assert lsq.empty
+
+    def test_capacity(self):
+        lsq = LoadStoreQueue(2)
+        assert lsq.insert(req(0, 0))
+        assert lsq.insert(req(0, 1))
+        assert lsq.full
+        assert not lsq.insert(req(0, 2))
+
+    def test_duplicate_rejected(self):
+        lsq = LoadStoreQueue(4)
+        lsq.insert(req(1, 1))
+        with pytest.raises(ValueError):
+            lsq.insert(req(1, 1))
+
+    def test_unknown_completion_returns_none(self):
+        assert LoadStoreQueue(4).complete(9, 9, 0) is None
+
+    def test_oldest(self):
+        lsq = LoadStoreQueue(4)
+        lsq.insert(req(0, 0, cycle=20))
+        lsq.insert(req(0, 1, cycle=10))
+        assert lsq.oldest().tag == 1
+        assert LoadStoreQueue(2).oldest() is None
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            LoadStoreQueue(0)

@@ -1,0 +1,92 @@
+"""Tests for the temporally multithreaded core (section 3's extension)."""
+
+import collections
+
+import pytest
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.node.mt_core import MultithreadedCore
+from repro.node.spm import ScratchpadMemory
+
+
+def stream(tid, n=32, rows=256):
+    for i in range(n):
+        yield MemoryRequest(
+            addr=((tid * 64 + i) % rows) << 8,
+            rtype=RequestType.LOAD,
+            tid=tid,
+            tag=i,
+        )
+
+
+def run_with_latency(core, latency=300, max_cycles=1_000_000):
+    """Drive the core against a fixed-latency memory; returns (ops, cycles)."""
+    inflight = collections.deque()
+    cycle = 0
+    issued = 0
+    while not core.done:
+        while inflight and inflight[0][0] <= cycle:
+            _, tid, tag = inflight.popleft()
+            core.complete(tid, tag, cycle)
+        req = core.tick(cycle)
+        if req is not None:
+            issued += 1
+            inflight.append((cycle + latency, req.tid, req.tag))
+        cycle += 1
+        assert cycle < max_cycles
+    return issued, cycle
+
+
+class TestContexts:
+    def test_single_context_is_stall_on_miss(self):
+        """One context = the paper's strict base core: one outstanding."""
+        core = MultithreadedCore(0, [stream(0, n=4)])
+        ops, cycles = run_with_latency(core, latency=100)
+        assert ops == 4
+        assert cycles >= 4 * 100  # fully serialized
+
+    def test_throughput_scales_with_contexts(self):
+        results = {}
+        for k in (1, 8, 32):
+            core = MultithreadedCore(0, [stream(t, n=16) for t in range(k)])
+            ops, cycles = run_with_latency(core, latency=300)
+            results[k] = ops / cycles
+        assert results[8] > 5 * results[1]
+        assert results[32] > 3 * results[8]
+
+    def test_throughput_approaches_latency_bound(self):
+        k, lat = 64, 300
+        core = MultithreadedCore(0, [stream(t, n=16) for t in range(k)])
+        ops, cycles = run_with_latency(core, latency=lat)
+        bound = k / (lat + 1)
+        assert ops / cycles > 0.8 * bound
+
+    def test_no_contexts_rejected(self):
+        with pytest.raises(ValueError):
+            MultithreadedCore(0, [])
+
+
+class TestBehaviour:
+    def test_outstanding_bounded_by_contexts(self):
+        core = MultithreadedCore(0, [stream(t, n=8) for t in range(4)])
+        for cycle in range(20):
+            core.tick(cycle)
+            assert core.outstanding <= 4
+
+    def test_spm_hits_do_not_block_context(self):
+        spm = ScratchpadMemory()
+        spm.map(0x0, 1 << 16)
+        core = MultithreadedCore(0, [stream(0, n=8, rows=16)], spm=spm)
+        ops, cycles = run_with_latency(core)
+        assert core.stats.spm_hits == 8
+        assert core.stats.mac_requests == 0
+        assert cycles < 100  # never touched the slow path
+
+    def test_switch_accounting(self):
+        core = MultithreadedCore(0, [stream(t, n=4) for t in range(2)])
+        run_with_latency(core, latency=50)
+        assert core.stats.switches > 0
+
+    def test_unknown_completion_is_noop(self):
+        core = MultithreadedCore(0, [stream(0, n=1)])
+        core.complete(99, 99, 0)  # no crash

@@ -1,0 +1,59 @@
+"""Unit tests for the scratchpad memory model."""
+
+import pytest
+
+from repro.node.spm import ScratchpadMemory
+
+
+class TestMapping:
+    def test_map_and_hit(self):
+        spm = ScratchpadMemory(1 << 20)
+        spm.map(0x1000, 0x100)
+        assert spm.access(0x1000) == spm.latency_cycles
+        assert spm.access(0x10FF) is not None
+        assert spm.access(0x1100) is None
+
+    def test_capacity_enforced(self):
+        spm = ScratchpadMemory(1024)
+        spm.map(0, 1024)
+        with pytest.raises(MemoryError):
+            spm.map(0x10000, 1)
+
+    def test_overlap_rejected(self):
+        spm = ScratchpadMemory(1 << 20)
+        spm.map(0x1000, 0x100)
+        with pytest.raises(ValueError):
+            spm.map(0x10FF, 0x10)
+
+    def test_unmap_frees_space(self):
+        spm = ScratchpadMemory(1024)
+        spm.map(0, 1024)
+        assert spm.unmap(0) == 1024
+        assert spm.free_bytes == 1024
+        spm.map(0x100, 512)
+
+    def test_unmap_unknown_raises(self):
+        with pytest.raises(KeyError):
+            ScratchpadMemory().unmap(0x123)
+
+    def test_invalid_sizes(self):
+        with pytest.raises(ValueError):
+            ScratchpadMemory(0)
+        with pytest.raises(ValueError):
+            ScratchpadMemory().map(0, 0)
+
+
+class TestAccounting:
+    def test_hit_rate(self):
+        spm = ScratchpadMemory()
+        spm.map(0, 64)
+        spm.access(0)
+        spm.access(100)
+        assert spm.hits == 1 and spm.misses == 1
+        assert spm.hit_rate == 0.5
+
+    def test_mapped_regions_sorted(self):
+        spm = ScratchpadMemory()
+        spm.map(0x2000, 16)
+        spm.map(0x1000, 16)
+        assert spm.mapped_regions() == [(0x1000, 16), (0x2000, 16)]

@@ -1,0 +1,61 @@
+"""CLI round-trip tests (``python -m repro ...``)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_trace_args(self):
+        args = build_parser().parse_args(
+            ["trace", "SG", "-o", "x.trc", "--threads", "2", "--ops", "10"]
+        )
+        assert args.benchmark == "SG" and args.threads == 2
+
+
+class TestCommands:
+    def test_trace_then_coalesce(self, tmp_path, capsys):
+        out = tmp_path / "t.trc"
+        assert main(["trace", "MG", "-o", str(out), "--threads", "2", "--ops", "200"]) == 0
+        assert out.exists()
+        assert main(["coalesce", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "coalescing efficiency" in text
+
+    def test_text_trace_format(self, tmp_path, capsys):
+        out = tmp_path / "t.txt"
+        main(["trace", "IS", "-o", str(out), "--threads", "2", "--ops", "100"])
+        assert out.read_text().startswith(("LD", "ST"))
+
+    def test_replay_all_devices(self, tmp_path, capsys):
+        out = tmp_path / "t.trc"
+        main(["trace", "SG", "-o", str(out), "--threads", "2", "--ops", "150"])
+        for device in ("hmc", "hbm", "ddr"):
+            assert main(["replay", str(out), "--device", device]) == 0
+        assert main(["replay", str(out), "--no-mac"]) == 0
+        text = capsys.readouterr().out
+        assert "bank conflicts" in text
+        assert "row-hit rate" in text
+
+    def test_replay_policy_and_arq_flags(self, tmp_path, capsys):
+        out = tmp_path / "t.trc"
+        main(["trace", "SP", "-o", str(out), "--threads", "2", "--ops", "100"])
+        assert main(["coalesce", str(out), "--arq", "8", "--policy", "exact"]) == 0
+
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        text = capsys.readouterr().out
+        assert "2062" in text
+        assert "GRAPPOLO" in text
+
+    def test_figures_fast(self, capsys):
+        assert main(["figures", "--fast", "--only", "fig11"]) == 0
+        assert "fig11" in capsys.readouterr().out
+
+    def test_unknown_benchmark_raises(self, tmp_path):
+        with pytest.raises(KeyError):
+            main(["trace", "NOPE", "-o", str(tmp_path / "x.trc")])

@@ -1,0 +1,114 @@
+"""Analyzer and execution-statistics tests."""
+
+import pytest
+
+from repro.core.config import MACConfig
+from repro.core.request import RequestType
+from repro.trace.analyzer import annotate, flit_footprints, row_locality
+from repro.trace.record import TraceRecord
+from repro.trace.stats import ExecutionProfile, summarize
+
+
+def rec(addr, op=RequestType.LOAD, tid=0, cycle=0):
+    return TraceRecord(op, addr, 8, tid, 0, cycle)
+
+
+class TestAnnotate:
+    def test_row_and_flit_recovered(self):
+        out = list(annotate([rec(0xA65)]))
+        assert out[0].row == 0xA and out[0].flit == 6
+
+    def test_fences_skipped(self):
+        out = list(annotate([rec(0, RequestType.FENCE), rec(0x100)]))
+        assert len(out) == 1
+
+
+class TestRowLocality:
+    def test_hits_within_window(self):
+        trace = [rec(0xA00), rec(0xA10), rec(0xB00), rec(0xA20)]
+        stats = row_locality(trace, window=32)
+        assert stats.accesses == 4
+        assert stats.window_hits == 2
+        assert stats.distinct_rows == 2
+
+    def test_window_eviction(self):
+        trace = [rec(0xA00), rec(0xB00), rec(0xC00), rec(0xA10)]
+        stats = row_locality(trace, window=2)
+        assert stats.window_hits == 0
+
+    def test_type_mismatch_is_miss(self):
+        trace = [rec(0xA00), rec(0xA10, RequestType.STORE)]
+        assert row_locality(trace).window_hits == 0
+
+    def test_fence_clears_window(self):
+        trace = [rec(0xA00), rec(0, RequestType.FENCE), rec(0xA10)]
+        assert row_locality(trace).window_hits == 0
+
+    def test_hit_rate_bounds_mac_efficiency(self):
+        """Window hit rate upper-bounds the ARQ's coalescing efficiency."""
+        import random
+
+        from repro.core.mac import coalesce_trace_fast
+        from repro.core.stats import MACStats
+        from repro.trace.record import to_requests
+
+        rng = random.Random(11)
+        trace = [
+            rec((rng.randrange(48) << 8) | (rng.randrange(16) << 4))
+            for _ in range(3000)
+        ]
+        loc = row_locality(trace, window=32)
+        st = MACStats()
+        coalesce_trace_fast(list(to_requests(trace)), MACConfig(), stats=st)
+        assert st.coalescing_efficiency <= loc.hit_rate + 1e-9
+
+    def test_popularity_tracking(self):
+        trace = [rec(0xA00), rec(0xA10), rec(0xB00)]
+        stats = row_locality(trace, track_popularity=True)
+        assert stats.row_popularity[0xA] == 2
+        assert stats.mean_accesses_per_row == 1.5
+
+
+class TestFlitFootprints:
+    def test_group_sizes(self):
+        trace = [rec(0xA00), rec(0xA10), rec(0xA10), rec(0xB00)]
+        sizes = flit_footprints(trace, window=32)
+        assert sorted(sizes) == [1, 2]  # row A: flits {0,1}; row B: {0}
+
+
+class TestExecutionProfile:
+    def test_rpc_formula(self):
+        p = ExecutionProfile("X", ipc=2.0, rpi=0.5, mem_access_rate=0.5)
+        assert p.rpc(cores=8) == pytest.approx(4.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExecutionProfile("X", ipc=0, rpi=0.5, mem_access_rate=0.5)
+        with pytest.raises(ValueError):
+            ExecutionProfile("X", ipc=1, rpi=1.5, mem_access_rate=0.5)
+        with pytest.raises(ValueError):
+            ExecutionProfile("X", ipc=1, rpi=0.5, mem_access_rate=0)
+        with pytest.raises(ValueError):
+            ExecutionProfile("X", ipc=1, rpi=0.5, mem_access_rate=0.5).rpc(0)
+
+
+class TestSummarize:
+    def test_counts(self):
+        trace = [
+            rec(0x100, RequestType.LOAD, tid=0, cycle=0),
+            rec(0x200, RequestType.STORE, tid=1, cycle=5),
+            rec(0, RequestType.FENCE, tid=0, cycle=6),
+            rec(0x300, RequestType.ATOMIC, tid=0, cycle=9),
+        ]
+        s = summarize(trace)
+        assert s.loads == 1 and s.stores == 1 and s.fences == 1 and s.atomics == 1
+        assert s.memory_operations == 3
+        assert s.distinct_threads == 2
+        assert s.span_cycles == 10
+        assert s.load_fraction == pytest.approx(1 / 3)
+        assert s.requests_per_cycle == pytest.approx(0.3)
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.operations == 0
+        assert s.requests_per_cycle == 0.0

@@ -1,0 +1,79 @@
+"""Predictor-vs-engine equivalence tests."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MACConfig
+from repro.core.mac import coalesce_trace_fast
+from repro.core.request import RequestType
+from repro.core.stats import MACStats
+from repro.trace.predictor import predict_efficiency
+from repro.trace.record import TraceRecord, to_requests
+from repro.workloads.registry import benchmark_names, make
+
+
+def random_trace(seed, n=500, rows=40, fence_frac=0.01):
+    rng = random.Random(seed)
+    out = []
+    for i in range(n):
+        if rng.random() < fence_frac:
+            out.append(TraceRecord(RequestType.FENCE, 0))
+            continue
+        op = RequestType.STORE if rng.random() < 0.3 else RequestType.LOAD
+        addr = (rng.randrange(rows) << 8) | (rng.randrange(16) << 4)
+        out.append(TraceRecord(op, addr, 8, i % 8, i % 8, i))
+    return out
+
+
+def engine_efficiency(trace, cfg):
+    st_ = MACStats()
+    coalesce_trace_fast(list(to_requests(trace)), cfg, stats=st_)
+    return st_.coalescing_efficiency
+
+
+class TestEquivalence:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 5000), entries=st.sampled_from([4, 16, 32, 64]))
+    def test_matches_window_engine_exactly(self, seed, entries):
+        cfg = MACConfig(arq_entries=entries)
+        trace = random_trace(seed)
+        pred = predict_efficiency(trace, cfg)
+        assert pred.predicted_efficiency == pytest.approx(
+            engine_efficiency(trace, cfg), abs=1e-12
+        )
+
+    @pytest.mark.parametrize("name", ["SG", "MG", "IS", "GRAPPOLO"])
+    def test_matches_on_real_workloads(self, name):
+        trace = make(name).generate(threads=4, ops_per_thread=600)
+        cfg = MACConfig()
+        pred = predict_efficiency(trace, cfg)
+        assert pred.predicted_efficiency == pytest.approx(
+            engine_efficiency(trace, cfg), abs=1e-12
+        )
+
+
+class TestPredictionFields:
+    def test_packet_count(self):
+        trace = random_trace(1, fence_frac=0)
+        pred = predict_efficiency(trace)
+        assert pred.predicted_packets == pred.accesses - pred.predicted_merges
+
+    def test_empty(self):
+        pred = predict_efficiency([])
+        assert pred.predicted_efficiency == 0.0
+
+    def test_capacity_evictions_counted(self):
+        # 13 same-row requests overflow one 12-target entry.
+        trace = [
+            TraceRecord(RequestType.LOAD, 0xA00 | ((i % 16) << 4)) for i in range(13)
+        ]
+        pred = predict_efficiency(trace)
+        assert pred.capacity_evictions == 1
+
+    def test_atomics_counted_but_never_merge(self):
+        trace = [TraceRecord(RequestType.ATOMIC, 0xA00) for _ in range(5)]
+        pred = predict_efficiency(trace)
+        assert pred.accesses == 5
+        assert pred.predicted_merges == 0

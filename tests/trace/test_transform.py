@@ -1,0 +1,110 @@
+"""Trace transformation utility tests."""
+
+import pytest
+
+from repro.core.request import RequestType
+from repro.trace.record import TraceRecord
+from repro.trace.transform import (
+    downsample,
+    filter_ops,
+    merge_by_cycle,
+    remap_addresses,
+    split_by_core,
+    split_by_thread,
+    time_window,
+)
+
+
+def rec(addr, tid=0, core=0, cycle=0, op=RequestType.LOAD):
+    return TraceRecord(op, addr, 8, tid, core, cycle)
+
+
+class TestSplitting:
+    def test_by_thread(self):
+        trace = [rec(0x100, tid=0), rec(0x200, tid=1), rec(0x300, tid=0)]
+        parts = split_by_thread(trace)
+        assert [r.addr for r in parts[0]] == [0x100, 0x300]
+        assert [r.addr for r in parts[1]] == [0x200]
+
+    def test_by_core(self):
+        trace = [rec(0x100, core=2), rec(0x200, core=2), rec(0x300, core=5)]
+        parts = split_by_core(trace)
+        assert set(parts) == {2, 5}
+
+
+class TestTimeWindow:
+    def test_half_open_interval(self):
+        trace = [rec(0x100, cycle=c) for c in (0, 5, 10, 15)]
+        got = list(time_window(trace, 5, 15))
+        assert [r.cycle for r in got] == [5, 10]
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            list(time_window([], 10, 5))
+
+
+class TestMerge:
+    def test_ordered_by_cycle(self):
+        a = [rec(0x100, cycle=1), rec(0x200, cycle=5)]
+        b = [rec(0x300, cycle=3)]
+        merged = merge_by_cycle(a, b)
+        assert [r.cycle for r in merged] == [1, 3, 5]
+
+    def test_stable_for_ties(self):
+        a = [rec(0x100, cycle=2)]
+        b = [rec(0x200, cycle=2)]
+        merged = merge_by_cycle(a, b)
+        assert [r.addr for r in merged] == [0x100, 0x200]
+
+
+class TestRemap:
+    def test_relocation(self):
+        got = list(remap_addresses([rec(0x100)], lambda a: a + 0x1000))
+        assert got[0].addr == 0x1100
+
+    def test_fences_untouched(self):
+        fence = rec(0, op=RequestType.FENCE)
+        got = list(remap_addresses([fence], lambda a: a + 0x1000))
+        assert got[0].addr == 0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            list(remap_addresses([rec(0x100)], lambda a: -1))
+
+    def test_remap_by_row_shift_preserves_coalescing(self):
+        """Shifting by whole rows must not change packetization — the
+        metamorphic property, exercised through the remap helper."""
+        from repro.core.config import MACConfig
+        from repro.core.mac import coalesce_trace_fast
+        from repro.core.stats import MACStats
+        from repro.trace.record import to_requests
+        import random
+
+        rng = random.Random(4)
+        trace = [
+            rec((rng.randrange(30) << 8) | (rng.randrange(16) << 4), tid=i % 4)
+            for i in range(300)
+        ]
+        moved = list(remap_addresses(trace, lambda a: a + (1 << 20)))
+        st_a, st_b = MACStats(), MACStats()
+        coalesce_trace_fast(list(to_requests(trace)), MACConfig(), stats=st_a)
+        coalesce_trace_fast(list(to_requests(moved)), MACConfig(), stats=st_b)
+        assert st_a.coalescing_efficiency == st_b.coalescing_efficiency
+
+
+class TestFilterAndSample:
+    def test_filter_ops(self):
+        trace = [rec(0x100), rec(0x200, op=RequestType.STORE)]
+        got = list(filter_ops(trace, [RequestType.STORE]))
+        assert len(got) == 1 and got[0].op is RequestType.STORE
+
+    def test_downsample_keeps_fences(self):
+        trace = [rec(0x100 * i) for i in range(10)]
+        trace.insert(5, rec(0, op=RequestType.FENCE))
+        got = downsample(trace, keep_one_in=5)
+        assert any(r.op is RequestType.FENCE for r in got)
+        assert len(got) < len(trace)
+
+    def test_downsample_validation(self):
+        with pytest.raises(ValueError):
+            downsample([], 0)

@@ -1,0 +1,68 @@
+"""Tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.graphs import (
+    CSRGraph,
+    edges_to_csr,
+    rmat_csr,
+    rmat_edges,
+    uniform_csr,
+    uniform_edges,
+)
+
+
+class TestEdgesToCSR:
+    def test_simple_graph(self):
+        edges = np.array([[0, 1], [0, 2], [2, 1]])
+        g = edges_to_csr(edges, 3)
+        assert g.num_vertices == 3
+        assert g.num_edges == 3
+        assert g.degree(0) == 2
+        assert g.degree(1) == 0
+        assert sorted(g.neighbors_of(0).tolist()) == [1, 2]
+        assert g.neighbors_of(2).tolist() == [1]
+
+    def test_row_ptr_monotone(self):
+        g = uniform_csr(100, degree=5, seed=1)
+        assert (np.diff(g.row_ptr) >= 0).all()
+        assert g.row_ptr[0] == 0
+        assert g.row_ptr[-1] == g.num_edges
+
+    def test_degrees_sum_to_edges(self):
+        g = uniform_csr(64, degree=8, seed=2)
+        assert sum(g.degree(v) for v in range(64)) == g.num_edges
+
+
+class TestRMAT:
+    def test_shape_and_range(self):
+        edges = rmat_edges(8, edge_factor=4, seed=3)
+        assert edges.shape == (256 * 4, 2)
+        assert edges.min() >= 0 and edges.max() < 256
+
+    def test_deterministic(self):
+        a = rmat_edges(8, seed=5)
+        b = rmat_edges(8, seed=5)
+        assert (a == b).all()
+
+    def test_seeds_differ(self):
+        a = rmat_edges(8, seed=5)
+        b = rmat_edges(8, seed=6)
+        assert not (a == b).all()
+
+    def test_power_law_degrees(self):
+        """R-MAT produces hubs: the max degree far exceeds the mean."""
+        g = rmat_csr(11, edge_factor=16, seed=7)
+        degrees = np.diff(g.row_ptr)
+        assert degrees.max() > 8 * degrees.mean()
+
+    def test_uniform_has_no_hubs(self):
+        g = uniform_csr(1 << 11, degree=16, seed=7)
+        degrees = np.diff(g.row_ptr)
+        assert degrees.max() < 4 * degrees.mean()
+
+
+class TestUniform:
+    def test_edge_count(self):
+        assert uniform_edges(50, 200, seed=1).shape == (200, 2)
