@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Fault injection: survive FLIT errors, a dead link and lost responses.
+
+Runs one closed-loop node twice over the same workload — once fault-free
+and once with a 1e-3 per-FLIT error rate, link 2 hard-dead from cycle 0
+and 2 % of responses dropped in flight — and shows the recovery
+machinery earning its keep: CRC/NAK replays on the links, timeout-based
+re-issue at the node, duplicate suppression, and degraded-mode steering
+around the dead link.  Every request is still delivered exactly once.
+
+Run:  python examples/fault_injection.py
+"""
+
+from repro.faults import FaultConfig
+from repro.hmc.config import HMCConfig
+from repro.node.node import Node
+from repro.trace.record import to_requests
+from repro.workloads.registry import make
+
+
+def build_node(hmc_config=None):
+    """One node, four cores, replaying the NAS-IS bucket-sort pattern."""
+    records = make("is", seed=7).generate(threads=4, ops_per_thread=200)
+    by_tid = {}
+    for raw in to_requests(records):
+        by_tid.setdefault(raw.tid, []).append(raw)
+    streams = [iter(v) for _, v in sorted(by_tid.items())]
+    return Node(streams, hmc_config=hmc_config)
+
+
+def main() -> None:
+    # --- baseline: no faults ------------------------------------------------
+    clean = build_node()
+    clean_stats = clean.run()
+    print("fault-free run:")
+    print(f"  cycles:    {clean_stats.cycles}")
+    print(f"  delivered: {clean_stats.responses_delivered}"
+          f"/{clean_stats.requests_issued}")
+
+    # --- same workload under injected faults --------------------------------
+    faults = FaultConfig.simple(
+        flit_ber=1e-3,        # per-FLIT corruption on every link
+        drop_rate=0.02,       # 2% of responses vanish in flight
+        dead_links=(2,),      # link 2 hard-dead from cycle 0
+        seed=42,              # injector RNG: runs are reproducible
+        timeout_cycles=5000,  # node re-issues after this silence
+    )
+    node = build_node(HMCConfig(faults=faults))
+    stats = node.run()
+
+    print("faulty run (1e-3 FLIT errors, dead link, 2% response drops):")
+    print(f"  cycles:    {stats.cycles}"
+          f"  (+{stats.cycles - clean_stats.cycles} for recovery)")
+    print(f"  delivered: {stats.responses_delivered}/{stats.requests_issued}"
+          "  <- still exactly once")
+    print(f"  link CRC errors:      {stats.link_crc_errors}")
+    print(f"  link replays:         {stats.link_retries}")
+    print(f"  response timeouts:    {stats.response_timeouts}")
+    print(f"  re-issued packets:    {stats.reissued_packets}")
+    print(f"  duplicates dropped:   {stats.duplicate_responses}")
+    print(f"  poisoned deliveries:  {stats.poisoned_responses}")
+    print(f"  failed links:         {stats.failed_links}"
+          f"  ({stats.link_bandwidth_loss:.0%} of link bandwidth lost)")
+
+    print("per-site fault counters (site -> event -> count):")
+    for site, event, count in node.device.fault_stats.rows():
+        print(f"  {site:12s} {event:22s} {count}")
+
+    assert stats.responses_delivered == stats.requests_issued
+    print()
+    print("Same knobs on the CLI:")
+    print("  repro trace is -o /tmp/is.trc && \\")
+    print("  repro --seed 42 replay /tmp/is.trc --flit-ber 1e-3 --dead-links 2")
+
+
+if __name__ == "__main__":
+    main()

@@ -14,7 +14,7 @@ from typing import Iterable, List, Optional
 from repro.core.address import AddressCodec
 from repro.core.config import MACConfig
 from repro.core.packet import CoalescedRequest
-from repro.core.request import MemoryRequest, RequestType, Target
+from repro.core.request import MemoryRequest, Target
 from repro.core.stats import MACStats
 
 

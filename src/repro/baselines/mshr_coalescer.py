@@ -45,7 +45,7 @@ def dispatch_mshr(
     pending: Dict[int, tuple] = {}
 
     def retire_due(cycle: float) -> None:
-        done = [l for l, (_, fill) in pending.items() if fill <= cycle]
+        done = [line for line, (_, fill) in pending.items() if fill <= cycle]
         for line in done:
             pkt, _ = pending.pop(line)
             st.record_packet(pkt)
@@ -75,7 +75,7 @@ def dispatch_mshr(
             out.append(pkt)
         if len(pending) >= mshr_entries:
             # File full: oldest entry's fill completes first; retire it.
-            oldest = min(pending, key=lambda l: pending[l][1])
+            oldest = min(pending, key=lambda line: pending[line][1])
             pkt, _ = pending.pop(oldest)
             st.record_packet(pkt)
             out.append(pkt)

@@ -11,7 +11,7 @@ miss at 60 %+ (Fig. 1 right).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 
 @dataclass

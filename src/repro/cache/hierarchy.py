@@ -12,12 +12,12 @@ miss itself".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 from repro.trace.record import TraceRecord
 from repro.core.request import RequestType
 
-from .cache import CacheStats, SetAssociativeCache
+from .cache import SetAssociativeCache
 
 
 @dataclass

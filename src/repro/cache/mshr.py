@@ -12,7 +12,7 @@ that motivate the MAC (section 2.3.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List
 
 from repro.core.request import MemoryRequest
 
@@ -63,7 +63,7 @@ class MSHRFile:
         return addr >> self._line_shift
 
     def _retire(self, cycle: int) -> None:
-        done = [l for l, e in self._pending.items() if e.fill_cycle <= cycle]
+        done = [line for line, e in self._pending.items() if e.fill_cycle <= cycle]
         for line in done:
             self.completed.append(self._pending.pop(line))
 

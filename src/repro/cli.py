@@ -23,6 +23,7 @@ from repro.core.flit_table import FlitTablePolicy
 from repro.core.mac import coalesce_trace_fast
 from repro.core.stats import MACStats
 from repro.eval.report import format_table, human_bytes, pct
+from repro.seeding import DEFAULT_SEED, derive_seed
 from repro.trace.record import to_requests
 from repro.trace.tracefile import dump, load
 from repro.workloads.registry import AUXILIARY, BENCHMARKS, make
@@ -49,8 +50,38 @@ def _mac_config(args) -> MACConfig:
     )
 
 
+def _effective_seed(args, fallback: int = DEFAULT_SEED) -> int:
+    """Per-command seed, overridden by the global ``--seed`` knob."""
+    if getattr(args, "global_seed", None) is not None:
+        return args.global_seed
+    seed = getattr(args, "seed", None)
+    return fallback if seed is None else seed
+
+
+def _fault_config(args):
+    """Build a FaultConfig from replay's fault flags (None = all off)."""
+    dead = tuple(args.dead_links or ())
+    if not (args.flit_ber or args.ack_ber or args.drop_rate or dead):
+        return None
+    from repro.faults import FaultConfig
+
+    fault_seed = (
+        args.fault_seed
+        if args.fault_seed is not None
+        else derive_seed(_effective_seed(args), "faults")
+    )
+    return FaultConfig.simple(
+        flit_ber=args.flit_ber,
+        ack_ber=args.ack_ber,
+        drop_rate=args.drop_rate,
+        dead_links=dead,
+        seed=fault_seed,
+        retry_limit=args.retry_limit,
+    )
+
+
 def cmd_trace(args) -> int:
-    wl = make(args.benchmark, seed=args.seed)
+    wl = make(args.benchmark, seed=_effective_seed(args))
     records = wl.generate(threads=args.threads, ops_per_thread=args.ops)
     n = dump(records, args.output)
     print(f"wrote {n} records of {wl.name} to {args.output}")
@@ -62,9 +93,7 @@ def cmd_coalesce(args) -> int:
     requests = list(to_requests(records))
     cfg = _mac_config(args)
     stats = MACStats()
-    packets = coalesce_trace_fast(
-        requests, cfg, FlitTablePolicy(args.policy), stats
-    )
+    coalesce_trace_fast(requests, cfg, FlitTablePolicy(args.policy), stats)
     print(
         format_table(
             ["metric", "value"],
@@ -107,9 +136,11 @@ def cmd_replay(args) -> int:
         ["coalescing efficiency", pct(stats.coalescing_efficiency)],
     ]
     if args.device == "hmc":
+        from repro.hmc.config import HMCConfig
         from repro.hmc.device import HMCDevice
 
-        dev = HMCDevice()
+        faults = _fault_config(args)
+        dev = HMCDevice(HMCConfig(faults=faults) if faults else None)
         t = 0.0
         for p in packets:
             dev.submit(p, int(t))
@@ -120,6 +151,13 @@ def cmd_replay(args) -> int:
             ["makespan (cycles)", dev.stats.makespan],
             ["wire traffic", human_bytes(dev.stats.wire_bytes)],
         ]
+        if dev.fault_stats is not None:
+            rows += [
+                ["crc errors", dev.fault_stats.total("crc_error")],
+                ["link retries", dev.fault_stats.total("retry")],
+                ["failed links", len(dev.failed_links)],
+                ["link bandwidth loss", pct(dev.link_bandwidth_loss)],
+            ]
     elif args.device == "hbm":
         from repro.hbm.device import HBMDevice
 
@@ -210,6 +248,14 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="MAC (Memory Access Coalescer) reproduction toolkit",
     )
+    parser.add_argument(
+        "--seed",
+        dest="global_seed",
+        type=int,
+        default=None,
+        help="root seed for workloads AND fault injection "
+        f"(default {DEFAULT_SEED}; overrides per-command seeds)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p = sub.add_parser("trace", help="generate a benchmark trace file")
@@ -217,7 +263,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("-o", "--output", required=True, help=".trc = binary, else text")
     p.add_argument("--threads", type=int, default=8)
     p.add_argument("--ops", type=int, default=3000, help="ops per thread")
-    p.add_argument("--seed", type=int, default=2019)
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     p.set_defaults(func=cmd_trace)
 
     p = sub.add_parser("coalesce", help="run a trace through the MAC")
@@ -230,6 +276,31 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=("hmc", "hbm", "ddr"), default="hmc")
     p.add_argument("--no-mac", action="store_true", help="raw 16 B dispatch")
     _add_mac_args(p)
+    fault = p.add_argument_group("fault injection (hmc only)")
+    fault.add_argument(
+        "--flit-ber", type=float, default=0.0, help="per-FLIT error rate on links"
+    )
+    fault.add_argument(
+        "--ack-ber", type=float, default=0.0, help="ACK/NAK corruption rate"
+    )
+    fault.add_argument(
+        "--drop-rate", type=float, default=0.0, help="response drop rate"
+    )
+    fault.add_argument(
+        "--dead-links",
+        type=int,
+        nargs="*",
+        help="link indices dead from cycle 0 (degraded mode)",
+    )
+    fault.add_argument(
+        "--retry-limit", type=int, default=8, help="replays before a link dies"
+    )
+    fault.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="injector seed (default: derived from --seed)",
+    )
     p.set_defaults(func=cmd_replay)
 
     p = sub.add_parser("figures", help="regenerate paper figures (summary)")

@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import List, Optional
 
 from .address import AddressCodec
-from .arq import AggregatedRequestQueue, ARQEntry
+from .arq import AggregatedRequestQueue
 from .builder import RequestBuilder, bypass_packet
 from .config import MACConfig
 from .flit_table import FlitTablePolicy

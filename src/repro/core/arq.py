@@ -22,7 +22,7 @@ from typing import Deque, Dict, List, Optional
 from .address import AddressCodec
 from .config import MACConfig
 from .flit import FlitMap
-from .request import MemoryRequest, RequestType, Target
+from .request import MemoryRequest, Target
 
 
 @dataclass(slots=True)

@@ -9,7 +9,7 @@ of one packet every 2 cycles once primed (section 4.4).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from .address import AddressCodec

@@ -25,7 +25,7 @@ from .config import MACConfig
 from .flit import FlitMap
 from .flit_table import FlitTablePolicy
 from .packet import CoalescedRequest, CoalescedResponse
-from .request import MemoryRequest, RequestType, Target
+from .request import MemoryRequest, Target
 from .router import RequestRouter, ResponseRouter
 from .stats import MACStats
 

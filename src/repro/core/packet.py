@@ -43,6 +43,10 @@ class CoalescedRequest:
     requests: List[MemoryRequest] = field(default_factory=list)
     bypassed: bool = False
     issue_cycle: int = 0
+    #: Identity assigned by the response router when fault injection is
+    #: on; used for timeout tracking and duplicate-response suppression.
+    #: -1 = untracked (the fault-free fast path).
+    packet_id: int = -1
 
     @property
     def end(self) -> int:
@@ -81,6 +85,10 @@ class CoalescedResponse:
     complete_cycle: int
     #: Cycles the device spent serving the transaction (queueing + DRAM).
     service_cycles: int = 0
+    #: True when the device could not produce valid data (uncorrectable
+    #: vault error or an injected poison fault); the response router
+    #: propagates the mark to every satisfied raw request.
+    poisoned: bool = False
 
     @property
     def targets(self) -> List[Target]:

@@ -107,6 +107,9 @@ class MemoryRequest:
     issue_cycle: int = 0
     # Filled in by the response path for latency accounting.
     complete_cycle: int = field(default=-1, compare=False)
+    #: Set by the response router when the satisfying response carried
+    #: poisoned (invalid) data; the consumer must not trust the value.
+    poisoned: bool = field(default=False, compare=False)
 
     @property
     def is_fence(self) -> bool:

@@ -12,7 +12,7 @@ originating remote node.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
 from .packet import CoalescedResponse
@@ -20,7 +20,13 @@ from .request import MemoryRequest, Target
 
 
 class FIFOQueue:
-    """Bounded FIFO decoupling cores from the memory subsystem."""
+    """Bounded FIFO decoupling cores from the memory subsystem.
+
+    Rejections are observable, not silent: a failed ``push`` increments
+    ``rejected`` (aliased as ``drops``) and the queue tracks its
+    occupancy high-water mark, so backpressure shows up in stats instead
+    of vanishing requests.
+    """
 
     def __init__(self, capacity: int = 64, name: str = "queue") -> None:
         if capacity < 1:
@@ -30,6 +36,7 @@ class FIFOQueue:
         self._q: Deque[MemoryRequest] = deque()
         self.enqueued = 0
         self.rejected = 0
+        self.high_water = 0
 
     def __len__(self) -> int:
         return len(self._q)
@@ -42,12 +49,19 @@ class FIFOQueue:
     def empty(self) -> bool:
         return not self._q
 
+    @property
+    def drops(self) -> int:
+        """Requests refused because the queue was full (= ``rejected``)."""
+        return self.rejected
+
     def push(self, request: MemoryRequest) -> bool:
         if self.full:
             self.rejected += 1
             return False
         self._q.append(request)
         self.enqueued += 1
+        if len(self._q) > self.high_water:
+            self.high_water = len(self._q)
         return True
 
     def pop(self) -> Optional[MemoryRequest]:
@@ -127,7 +141,18 @@ class RequestRouter:
 
 
 class ResponseRouter:
-    """Directs device responses back to cores or remote nodes (section 3.3)."""
+    """Directs device responses back to cores or remote nodes (section 3.3).
+
+    Under fault injection the router is also the node's loss-recovery
+    point: dispatched packets are registered as *outstanding*, responses
+    that never arrive are detected by timeout and handed back for
+    re-issue, late duplicates (a delayed original racing its re-issue)
+    are suppressed by packet id, and poisoned responses propagate the
+    poison mark to every satisfied raw request instead of silently
+    delivering bad data.  None of this machinery runs unless
+    :meth:`register_dispatch` is used, so the fault-free path is
+    untouched.
+    """
 
     def __init__(self, node_id: int = 0, buffer_capacity: int = 256) -> None:
         self.node_id = node_id
@@ -137,13 +162,66 @@ class ResponseRouter:
         self.completed: Dict[Tuple[int, int], int] = {}
         self.local_deliveries = 0
         self.remote_deliveries = 0
+        #: packet_id -> (packet, dispatch cycle); insertion-ordered by
+        #: dispatch cycle, so the timeout scan stops at the first young one.
+        self.outstanding: Dict[int, Tuple[object, int]] = {}
+        self._delivered_ids: set = set()
+        self._next_packet_id = 0
+        self.timeouts = 0
+        self.reissues = 0
+        self.duplicates_suppressed = 0
+        self.poisoned_deliveries = 0
 
     @property
     def buffered(self) -> int:
         return len(self._buffer)
 
+    # -- loss recovery (fault injection only) -------------------------------
+
+    def register_dispatch(self, packet, cycle: int) -> int:
+        """Track a packet sent to the device; returns its packet id.
+
+        Re-registering a re-issued packet keeps its original id so a
+        late response to either copy satisfies (and retires) both.
+        """
+        if packet.packet_id < 0:
+            packet.packet_id = self._next_packet_id
+            self._next_packet_id += 1
+        self.outstanding.pop(packet.packet_id, None)
+        self.outstanding[packet.packet_id] = (packet, cycle)
+        return packet.packet_id
+
+    def check_timeouts(self, now: int, timeout_cycles: int) -> List[object]:
+        """Collect outstanding packets older than ``timeout_cycles``.
+
+        The caller re-issues them to the device and re-registers them.
+        """
+        expired: List[object] = []
+        for pid, (packet, dispatched) in list(self.outstanding.items()):
+            if now - dispatched < timeout_cycles:
+                break  # insertion order == dispatch order
+            del self.outstanding[pid]
+            self.timeouts += 1
+            self.reissues += 1
+            expired.append(packet)
+        return expired
+
+    # -- response path ------------------------------------------------------
+
     def receive(self, response: CoalescedResponse) -> None:
-        """Store a device response in the response buffer."""
+        """Store a device response in the response buffer.
+
+        Duplicate responses for an already-delivered packet (possible
+        only under fault injection, when a delayed original races its
+        re-issued copy) are counted and discarded.
+        """
+        pid = response.request.packet_id
+        if pid >= 0:
+            if pid in self._delivered_ids:
+                self.duplicates_suppressed += 1
+                return
+            self._delivered_ids.add(pid)
+            self.outstanding.pop(pid, None)
         if len(self._buffer) >= self.buffer_capacity:
             raise RuntimeError("response buffer overflow")
         self._buffer.append(response)
@@ -154,15 +232,20 @@ class ResponseRouter:
         """Route every buffered response to its destinations.
 
         Returns (local, remote) lists of (target, raw request) pairs.
-        Raw requests get their ``complete_cycle`` stamped, and local
-        completions are recorded for LSQ matching.
+        Raw requests get their ``complete_cycle`` stamped (and the poison
+        mark propagated), and local completions are recorded for LSQ
+        matching.
         """
         local: List[Tuple[Target, MemoryRequest]] = []
         remote: List[Tuple[Target, MemoryRequest]] = []
         while self._buffer:
             resp = self._buffer.popleft()
+            if resp.poisoned:
+                self.poisoned_deliveries += len(resp.request.targets)
             for target, raw in zip(resp.request.targets, resp.request.requests):
                 raw.complete_cycle = resp.complete_cycle
+                if resp.poisoned:
+                    raw.poisoned = True
                 if raw.node == self.node_id:
                     self.completed[(target.tid, target.tag)] = resp.complete_cycle
                     local.append((target, raw))

@@ -11,7 +11,7 @@ worthwhile on DDR — and what the HMC's closed-page operation removes.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .timing import DDRTiming
 

@@ -10,8 +10,8 @@ scheduler feeds on, pushing aggregation to the processor side (the MAC).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional
 
 from .bank import AccessKind, DDRBank
 from .timing import DDRTiming

@@ -11,7 +11,7 @@ memory path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
 from repro.core.packet import CoalescedRequest
 

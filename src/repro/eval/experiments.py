@@ -9,20 +9,18 @@ EXPERIMENTS.md can print paper-vs-measured side by side.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.baselines.fixed import dispatch_fixed, useful_data_fraction
 from repro.cache.hierarchy import CacheHierarchy
 from repro.core.config import MACConfig, PAPER_SYSTEM
-from repro.core.packet import CONTROL_BYTES_PER_ACCESS
-from repro.core.request import RequestType
 from repro.trace.record import TraceRecord
 from repro.workloads.registry import BENCHMARKS, benchmark_names
 
 from . import metrics
-from .area import builder_bytes, mac_area
+from .area import mac_area
 from .runner import (
     DEFAULT_OPS_PER_THREAD,
     DEFAULT_THREADS,

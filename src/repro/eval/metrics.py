@@ -11,7 +11,7 @@ Every number reported in section 5.3 derives from these definitions:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence
+from typing import Dict, Sequence
 
 from repro.core.packet import CONTROL_BYTES_PER_ACCESS, CoalescedRequest
 

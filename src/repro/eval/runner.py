@@ -22,7 +22,6 @@ from repro.core.packet import CoalescedRequest
 from repro.core.stats import MACStats
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
-from repro.hmc.stats import HMCStats
 from repro.trace.record import TraceRecord, to_requests
 from repro.workloads.registry import make
 

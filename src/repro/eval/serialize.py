@@ -10,7 +10,7 @@ from __future__ import annotations
 import dataclasses
 import json
 from pathlib import Path
-from typing import Any, Dict, Type, TypeVar, Union
+from typing import Any, Dict, TypeVar, Union
 
 from repro.core.config import MACConfig, SystemConfig
 from repro.core.stats import MACStats

@@ -1,0 +1,120 @@
+"""Configuration of fault injection and the link retry protocol.
+
+A :class:`FaultConfig` bundles the fault models to inject with the
+parameters of the recovery machinery (retry limit, retry-buffer and
+token-pool sizes, backoff, node-side response timeout).  Attach one to
+:class:`repro.hmc.config.HMCConfig` via its ``faults`` field; leaving it
+``None`` (the default everywhere) keeps every simulation cycle-identical
+to the fault-free model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple, Union
+
+from .models import (
+    AckError,
+    FlitBitError,
+    LinkDegradation,
+    LinkFailure,
+    ResponseFault,
+    TransientVaultError,
+)
+
+#: Every model type a FaultConfig may carry.
+FaultModel = Union[
+    AckError,
+    FlitBitError,
+    LinkDegradation,
+    LinkFailure,
+    ResponseFault,
+    TransientVaultError,
+]
+
+#: Default seed of the injector's RNG; matches the workload default so a
+#: single --seed knob reproduces a whole run end to end.
+DEFAULT_FAULT_SEED = 2019
+
+
+@dataclass(frozen=True, slots=True)
+class FaultConfig:
+    """Fault models + retry-protocol parameters for one device."""
+
+    #: Fault models evaluated by the injector (order is irrelevant).
+    models: Tuple[FaultModel, ...] = ()
+    #: Seed of the injector's private RNG (deterministic replay).
+    seed: int = DEFAULT_FAULT_SEED
+    #: Replays of one packet before the link is declared dead.
+    retry_limit: int = 8
+    #: Sender-side retry (replay) buffer, in FLITs of unacked data.
+    retry_buffer_flits: int = 256
+    #: Receiver-side input-buffer credit pool, in FLIT tokens.
+    link_tokens: int = 256
+    #: Base of the exponential NAK backoff, in cycles (doubles per retry).
+    backoff_base: int = 8
+    #: Node-side cycles before an outstanding packet is presumed lost
+    #: and re-issued.
+    timeout_cycles: int = 4096
+    #: Consecutive vault re-reads before a response is poisoned.
+    vault_error_limit: int = 3
+
+    def __post_init__(self) -> None:
+        if self.retry_limit < 1:
+            raise ValueError("retry limit must be positive")
+        if self.retry_buffer_flits < 1:
+            raise ValueError("retry buffer must hold at least one FLIT")
+        if self.link_tokens < 1:
+            raise ValueError("token pool must hold at least one FLIT")
+        if self.backoff_base < 1:
+            raise ValueError("backoff base must be positive")
+        if self.timeout_cycles < 1:
+            raise ValueError("response timeout must be positive")
+        if self.vault_error_limit < 1:
+            raise ValueError("vault error limit must be positive")
+
+    @classmethod
+    def simple(
+        cls,
+        flit_ber: float = 0.0,
+        ack_ber: float = 0.0,
+        vault_error_rate: float = 0.0,
+        poison_rate: float = 0.0,
+        drop_rate: float = 0.0,
+        delay_rate: float = 0.0,
+        delay_cycles: int = 2000,
+        dead_links: Tuple[int, ...] = (),
+        degraded_links: Tuple[Tuple[int, float], ...] = (),
+        **kwargs,
+    ) -> "FaultConfig":
+        """Build a config from flat rates (the CLI's spelling).
+
+        Only non-zero rates generate fault models.  Note that merely
+        *arming* a FaultConfig (even with every rate at zero) switches
+        the links onto the retry protocol, whose sequence numbering and
+        token-credit loop are themselves modelled overheads — only
+        ``faults=None`` is guaranteed cycle-identical to the fault-free
+        device.
+        """
+        models: list = []
+        if flit_ber > 0:
+            models.append(FlitBitError(rate=flit_ber))
+        if ack_ber > 0:
+            models.append(AckError(rate=ack_ber))
+        if vault_error_rate > 0:
+            models.append(TransientVaultError(rate=vault_error_rate))
+        if poison_rate > 0:
+            models.append(ResponseFault(kind="poison", rate=poison_rate))
+        if drop_rate > 0:
+            models.append(ResponseFault(kind="drop", rate=drop_rate))
+        if delay_rate > 0:
+            models.append(
+                ResponseFault(
+                    kind="delay", rate=delay_rate, delay_cycles=delay_cycles
+                )
+            )
+        for link in dead_links:
+            models.append(LinkFailure(link=link))
+        for link, factor in degraded_links:
+            models.append(LinkDegradation(link=link, factor=factor))
+        return cls(models=tuple(models), **kwargs)

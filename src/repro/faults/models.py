@@ -1,0 +1,163 @@
+"""Pluggable fault models consumed by the :class:`FaultInjector`.
+
+Each model is a frozen dataclass describing one fault source bound to a
+set of sites (links, vaults, the response path) and an injection
+schedule.  A :class:`Window` expresses *when* the model is armed —
+always, at a single cycle, or over a cycle range — and the model's
+``rate`` expresses *how often* it fires inside that window, so the three
+schedule styles of the API (at cycle N, over a window, probabilistic)
+are all spellings of the same pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+
+@dataclass(frozen=True, slots=True)
+class Window:
+    """Cycle window ``[start, end)`` during which a fault model is armed.
+
+    ``end=None`` leaves the window open to the right.  ``Window.at(n)``
+    arms the model for exactly one cycle.
+    """
+
+    start: int = 0
+    end: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start < 0:
+            raise ValueError("window start must be non-negative")
+        if self.end is not None and self.end <= self.start:
+            raise ValueError("window end must be after start")
+
+    @classmethod
+    def at(cls, cycle: int) -> "Window":
+        """Single-cycle window: inject at cycle ``cycle`` only."""
+        return cls(start=cycle, end=cycle + 1)
+
+    def contains(self, cycle: int) -> bool:
+        return cycle >= self.start and (self.end is None or cycle < self.end)
+
+
+def _check_rate(rate: float) -> None:
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"fault rate {rate} outside [0, 1)")
+
+
+@dataclass(frozen=True, slots=True)
+class FlitBitError:
+    """Per-FLIT corruption probability on link data packets.
+
+    A packet of *n* FLITs survives an attempt with probability
+    ``(1 - rate) ** n`` — larger (coalesced) packets present a bigger
+    cross-section, the effect ``bench_fault_sweep`` quantifies.
+    ``links=None`` applies to every link.
+    """
+
+    rate: float
+    links: Optional[Tuple[int, ...]] = None
+    window: Window = field(default_factory=Window)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+
+@dataclass(frozen=True, slots=True)
+class AckError:
+    """Corruption probability of the single-FLIT ACK/NAK control packet.
+
+    A lost ACK makes the sender replay a packet the receiver already
+    holds — the duplicate-suppression path of the retry protocol.
+    """
+
+    rate: float
+    links: Optional[Tuple[int, ...]] = None
+    window: Window = field(default_factory=Window)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+
+@dataclass(frozen=True, slots=True)
+class TransientVaultError:
+    """Per-access transient (soft) error inside a vault's DRAM banks.
+
+    The vault controller re-reads on error (ECC-style); after
+    ``FaultConfig.vault_error_limit`` consecutive failures the response
+    is delivered poisoned rather than retried forever.
+    """
+
+    rate: float
+    vaults: Optional[Tuple[int, ...]] = None
+    window: Window = field(default_factory=Window)
+
+    def __post_init__(self) -> None:
+        _check_rate(self.rate)
+
+
+@dataclass(frozen=True, slots=True)
+class ResponseFault:
+    """Whole-response fault on the device's return path.
+
+    ``kind`` is one of:
+
+    * ``"poison"`` — the response arrives but its data is marked invalid;
+    * ``"drop"``   — the response never arrives (exercises the node's
+      timeout + re-issue recovery);
+    * ``"delay"``  — the response arrives ``delay_cycles`` late
+      (exercises duplicate suppression when the delay crosses the
+      timeout and the packet is re-issued).
+    """
+
+    kind: str
+    rate: float
+    delay_cycles: int = 0
+    window: Window = field(default_factory=Window)
+
+    KINDS = ("poison", "drop", "delay")
+
+    def __post_init__(self) -> None:
+        if self.kind not in self.KINDS:
+            raise ValueError(f"unknown response fault kind {self.kind!r}")
+        _check_rate(self.rate)
+        if self.kind == "delay" and self.delay_cycles < 1:
+            raise ValueError("delay faults need delay_cycles >= 1")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkDegradation:
+    """Stuck-at lane failure: one link serializes ``factor`` x slower.
+
+    Models a SerDes lane dropping out of the 16-lane bundle — the link
+    stays up but its effective FLIT bandwidth shrinks.
+    """
+
+    link: int
+    factor: float
+    window: Window = field(default_factory=Window)
+
+    def __post_init__(self) -> None:
+        if self.link < 0:
+            raise ValueError("link index must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("degradation factor must be >= 1.0")
+
+
+@dataclass(frozen=True, slots=True)
+class LinkFailure:
+    """Whole-link hard failure from cycle ``at_cycle`` onward.
+
+    The device detects the failure on the next transmission attempt and
+    steers all traffic across the remaining links (degraded mode).
+    """
+
+    link: int
+    at_cycle: int = 0
+
+    def __post_init__(self) -> None:
+        if self.link < 0:
+            raise ValueError("link index must be non-negative")
+        if self.at_cycle < 0:
+            raise ValueError("failure cycle must be non-negative")

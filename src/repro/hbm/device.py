@@ -14,15 +14,14 @@ matter to the MAC (section 4.3):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 from repro.core.packet import CoalescedRequest, CoalescedResponse
 from repro.hmc.bank import Bank  # closed-page bank model is shared
 from repro.hmc.timing import HMCTiming
 
 from .config import HBMConfig
-from .timing import HBMTiming
 
 
 @dataclass(slots=True)

@@ -7,7 +7,7 @@ any request arriving meanwhile suffers a *bank conflict* and waits.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from .timing import HMCTiming
 

@@ -9,6 +9,9 @@ one control FLIT per packet (32 B of control per access, section 2.2.2).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.config import FaultConfig
 
 from .timing import HMCTiming
 
@@ -31,10 +34,31 @@ class HMCConfig:
     #: Control FLITs per packet (header + tail = 1 FLIT = 16 B).
     control_flits_per_packet: int = 1
     timing: HMCTiming = field(default_factory=HMCTiming)
+    #: Fault-injection + retry-protocol configuration; ``None`` (default)
+    #: disables every fault path and keeps the model cycle-identical to
+    #: the fault-free device.
+    faults: Optional[FaultConfig] = None
 
     def __post_init__(self) -> None:
         if self.links < 1 or self.vaults < 1 or self.banks_per_vault < 1:
             raise ValueError("links/vaults/banks must be positive")
+        if self.faults is not None:
+            # The largest packet (max payload + control FLITs) must fit
+            # in both link-level buffers or flow control deadlocks.
+            worst = (
+                self.max_request_bytes // self.flit_bytes
+                + self.control_flits_per_packet
+            )
+            if self.faults.link_tokens < worst:
+                raise ValueError(
+                    f"link token pool ({self.faults.link_tokens} FLITs) cannot "
+                    f"hold a maximum-size packet ({worst} FLITs)"
+                )
+            if self.faults.retry_buffer_flits < worst:
+                raise ValueError(
+                    f"retry buffer ({self.faults.retry_buffer_flits} FLITs) "
+                    f"cannot hold a maximum-size packet ({worst} FLITs)"
+                )
         if self.vaults & (self.vaults - 1):
             raise ValueError("vault count must be a power of two")
         if self.banks_per_vault & (self.banks_per_vault - 1):

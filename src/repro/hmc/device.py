@@ -8,6 +8,22 @@ its arrival cycle threads through them in order and the device returns a
 cycle.  Requests must be submitted in non-decreasing arrival order (the
 MAC emits them that way); this keeps the model simple and fast while
 preserving queueing, serialization and bank-conflict behaviour.
+
+With a :class:`repro.faults.FaultConfig` attached to the
+:class:`HMCConfig`, the device additionally survives injected faults:
+
+* link channels run the CRC/NAK/replay retry protocol
+  (:mod:`repro.hmc.link`); a link that exhausts its retry budget is
+  declared dead and traffic is steered across the remaining links
+  (degraded mode, with the bandwidth loss reported);
+* transient vault errors trigger ECC-style re-reads, and accesses that
+  stay corrupted beyond the configured limit return *poisoned*
+  responses instead of hanging;
+* whole responses may be poisoned, dropped (``submit`` returns ``None``
+  so the node-side timeout recovery re-issues the packet) or delayed.
+
+Without a fault config every code path below is the original fault-free
+model, cycle for cycle.
 """
 
 from __future__ import annotations
@@ -15,10 +31,12 @@ from __future__ import annotations
 from typing import List, Optional
 
 from repro.core.packet import CoalescedRequest, CoalescedResponse
+from repro.faults.injector import FaultInjector
+from repro.faults.stats import FaultStats
 
 from .config import HMCConfig
 from .crossbar import Crossbar
-from .link import Link
+from .link import Link, LinkFailedError
 from .packet import HMCCommand, WirePacket, encode
 from .stats import HMCStats
 from .vault import Vault
@@ -46,54 +64,141 @@ class HMCDevice:
         self.stats = HMCStats()
         self._last_arrival = 0
         self._rr_next = 0
+        self.injector: Optional[FaultInjector] = None
+        self.fault_stats: Optional[FaultStats] = None
+        if self.config.faults is not None:
+            self.fault_stats = FaultStats()
+            self.injector = FaultInjector(self.config.faults, self.fault_stats)
+            for link in self.links:
+                link.attach_faults(self.injector, self.config.faults)
+            # Expose the live per-site counters through the stats layer.
+            self.stats.fault_events = self.fault_stats.counters
 
     # -- submission ------------------------------------------------------------
 
-    def submit(self, request: CoalescedRequest, arrival: int) -> CoalescedResponse:
+    def submit(
+        self, request: CoalescedRequest, arrival: int
+    ) -> Optional[CoalescedResponse]:
         """Serve one coalesced request arriving at cycle ``arrival``.
 
         Returns the completed response; all resource bookkeeping (link
         occupancy, bank busy windows, conflicts) is updated as a side
-        effect.
+        effect.  With fault injection enabled the response may be marked
+        poisoned, or the call may return ``None`` when the response was
+        lost in flight (the node-side timeout recovery re-issues it).
         """
         if arrival < self._last_arrival:
             raise ValueError("requests must be submitted in arrival order")
         self._last_arrival = arrival
 
         wire = encode(request, self.config)
-        link = self._pick_link(arrival)
 
-        # Host -> device: serialize the request packet, cross the fabric.
-        at_device = link.request.transmit(arrival, wire.request_flits)
+        # Host -> device: serialize the request packet.  A link that dies
+        # mid-transmission is recorded and the packet re-routed across the
+        # surviving links from the failure-detection cycle onward.
+        link, at_device = self._transmit_request(wire, arrival)
         at_vault = self.crossbar.to_vault(at_device)
 
-        # Vault + bank service (closed-page).
+        # Vault + bank service (closed-page), with transient-error re-reads.
         vault = self.vaults[wire.vault]
         conflicts_before = vault.banks[wire.bank].conflicts
         data_ready = vault.access(
             at_vault, wire.bank, wire.dram_row, wire.columns, request.is_write
         )
+        poisoned = False
+        if self.injector is not None:
+            rereads = 0
+            while self.injector.vault_error(wire.vault, data_ready):
+                rereads += 1
+                if rereads > self.config.faults.vault_error_limit:
+                    # Uncorrectable: deliver poison rather than hang.
+                    poisoned = True
+                    self.fault_stats.record(f"vault{wire.vault}", "poisoned")
+                    break
+                self.fault_stats.record(f"vault{wire.vault}", "reread")
+                data_ready = vault.access(
+                    data_ready, wire.bank, wire.dram_row, wire.columns, request.is_write
+                )
         conflicts_delta = vault.banks[wire.bank].conflicts - conflicts_before
 
         # Device -> host: response packet back through crossbar + link.
         at_link = self.crossbar.to_link(data_ready)
-        complete = link.response.transmit(at_link, wire.response_flits)
+        complete = self._transmit_response(link, wire, at_link)
+
+        delay = 0
+        dropped = False
+        if self.injector is not None:
+            fate, fate_delay = self.injector.response_fate(complete)
+            if fate == "poison":
+                poisoned = True
+            elif fate == "drop":
+                dropped = True
+            elif fate == "delay":
+                delay = fate_delay
+        complete += delay
 
         self._record(request, wire, arrival, complete, conflicts_delta)
+        if dropped:
+            return None
         return CoalescedResponse(
             request=request,
             complete_cycle=complete,
             service_cycles=complete - arrival,
+            poisoned=poisoned,
         )
 
     def submit_stream(
         self, requests: List[CoalescedRequest]
     ) -> List[CoalescedResponse]:
-        """Serve a list of requests at their ``issue_cycle`` stamps."""
+        """Serve a list of requests at their ``issue_cycle`` stamps.
+
+        Dropped responses (fault injection) are omitted from the result.
+        """
         ordered = sorted(requests, key=lambda r: r.issue_cycle)
-        return [self.submit(r, r.issue_cycle) for r in ordered]
+        out = []
+        for r in ordered:
+            resp = self.submit(r, r.issue_cycle)
+            if resp is not None:
+                out.append(resp)
+        return out
 
     # -- internals ---------------------------------------------------------------
+
+    def _transmit_request(self, wire: WirePacket, arrival: int):
+        """Send the request packet, steering around dead links."""
+        link = self._pick_link(arrival)
+        if self.injector is None:
+            return link, link.request.transmit(arrival, wire.request_flits)
+        while True:
+            try:
+                return link, link.request.transmit(arrival, wire.request_flits)
+            except LinkFailedError as err:
+                self._note_failure(link)
+                arrival = max(arrival, err.cycle)
+                link = self._pick_link(arrival)
+
+    def _transmit_response(self, link: Link, wire: WirePacket, at_link: int) -> int:
+        """Send the response packet, steering around dead links."""
+        if self.injector is None:
+            return link.response.transmit(at_link, wire.response_flits)
+        # Prefer the request's own link; the crossbar can hand the
+        # response to any surviving link's response channel.
+        candidates = [link] + [other for other in self.links if other is not link]
+        for cand in candidates:
+            if cand.failed:
+                continue
+            try:
+                return cand.response.transmit(at_link, wire.response_flits)
+            except LinkFailedError as err:
+                self._note_failure(cand)
+                at_link = max(at_link, err.cycle)
+        raise RuntimeError("all HMC links failed; device unreachable")
+
+    def _note_failure(self, link: Link) -> None:
+        """Record a newly dead link and check the device is still reachable."""
+        self.fault_stats.record(f"link{link.index}", "rerouted_after_failure")
+        if not self.live_links:
+            raise RuntimeError("all HMC links failed; device unreachable")
 
     def _pick_link(self, arrival: int) -> Link:
         """Round-robin across links, skipping ahead to a less-loaded one.
@@ -102,8 +207,23 @@ class HMCDevice:
         selection would pile every packet onto link 0 whenever all links
         are instantaneously free, starving the other three of responses.
         Round-robin spreads request *and* response serialization load.
+        In degraded mode (fault injection) dead links are skipped.
         """
         n = len(self.links)
+        if self.injector is not None and any(link.failed for link in self.links):
+            live = self.live_links
+            if not live:
+                raise RuntimeError("all HMC links failed; device unreachable")
+            start = self._rr_next % len(live)
+            self._rr_next = (self._rr_next + 1) % len(live)
+            best = live[start]
+            best_load = best.request.ready_cycle + best.response.ready_cycle
+            for i in range(1, len(live)):
+                cand = live[(start + i) % len(live)]
+                load = cand.request.ready_cycle + cand.response.ready_cycle
+                if load + 64 < best_load:
+                    best, best_load = cand, load
+            return best
         start = self._rr_next
         self._rr_next = (start + 1) % n
         best = self.links[start]
@@ -143,6 +263,23 @@ class HMCDevice:
     @property
     def activations(self) -> int:
         return sum(v.activations for v in self.vaults)
+
+    @property
+    def live_links(self) -> List[Link]:
+        """Links still carrying traffic (all of them when faults are off)."""
+        return [link for link in self.links if not link.failed]
+
+    @property
+    def failed_links(self) -> List[int]:
+        """Indices of links declared dead by the retry protocol."""
+        return [link.index for link in self.links if link.failed]
+
+    @property
+    def link_bandwidth_loss(self) -> float:
+        """Fraction of aggregate link bandwidth lost to dead links."""
+        if not self.links:
+            return 0.0
+        return len(self.failed_links) / len(self.links)
 
     def unloaded_read_latency(self, size: int = 16) -> int:
         """Analytic latency of one isolated read (Table 1 calibration)."""

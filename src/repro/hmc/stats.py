@@ -29,6 +29,10 @@ class HMCStats:
     first_arrival: int = -1
     latencies: List[int] = field(default_factory=list)
     size_histogram: Dict[int, int] = field(default_factory=dict)
+    #: Per-site fault/recovery counters (``site -> event -> count``).
+    #: Shares the injector's live FaultStats dict; empty when fault
+    #: injection is disabled.
+    fault_events: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def record(
         self, arrival: int, completion: int, size: int, conflicts_delta: int

@@ -14,6 +14,21 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+#: Every timing field, validated uniformly in ``__post_init__``.  All
+#: are cycle counts and must be non-negative; zeros are legal because
+#: derived models (e.g. the HBM channel reuse in :mod:`repro.hbm`)
+#: null out the link/crossbar stages they do not have.
+TIMING_FIELDS = (
+    "link_latency",
+    "cycles_per_flit",
+    "crossbar_latency",
+    "vault_processing",
+    "t_activate",
+    "t_column",
+    "t_precharge",
+    "cycles_per_column",
+)
+
 
 @dataclass(frozen=True, slots=True)
 class HMCTiming:
@@ -43,17 +58,11 @@ class HMCTiming:
     cycles_per_column: int = 4
 
     def __post_init__(self) -> None:
-        for name in (
-            "link_latency",
-            "cycles_per_flit",
-            "crossbar_latency",
-            "vault_processing",
-            "t_activate",
-            "t_column",
-            "t_precharge",
-            "cycles_per_column",
-        ):
-            if getattr(self, name) < 0:
+        for name in TIMING_FIELDS:
+            value = getattr(self, name)
+            if not isinstance(value, int):
+                raise ValueError(f"{name} must be an integer cycle count")
+            if value < 0:
                 raise ValueError(f"{name} must be non-negative")
 
     def burst_cycles(self, columns: int) -> int:

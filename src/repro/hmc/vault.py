@@ -9,7 +9,7 @@ occupy their target bank per the closed-page timing in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from .bank import Bank

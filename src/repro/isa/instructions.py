@@ -34,7 +34,6 @@ reads as zero and ignores writes; the ABI aliases (``a0``-``a7``,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
 
 #: Register count of the integer file.
 NUM_REGS = 32

@@ -15,10 +15,10 @@ memory latency.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
-from repro.core.request import MemoryRequest, RequestType
+from repro.core.request import MemoryRequest
 
 from .lsq import LoadStoreQueue
 from .spm import ScratchpadMemory

@@ -8,7 +8,6 @@ throttles a core when the memory system backs up.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro.core.request import MemoryRequest

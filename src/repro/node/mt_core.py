@@ -13,7 +13,7 @@ the concurrency behind Fig. 9's offered load.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.request import MemoryRequest

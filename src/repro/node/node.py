@@ -11,13 +11,12 @@ load/store queues, so end-to-end latency and throughput effects
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Sequence
 
 from repro.core.config import MACConfig, SystemConfig
 from repro.core.flit_table import FlitTablePolicy
 from repro.core.mac import MAC
-from repro.core.packet import CoalescedResponse
 from repro.core.request import MemoryRequest
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
@@ -36,6 +35,16 @@ class NodeStats:
     coalescing_efficiency: float = 0.0
     bank_conflicts: int = 0
     mean_memory_latency: float = 0.0
+
+    # Fault-injection outcomes (all zero when faults are disabled).
+    poisoned_responses: int = 0
+    response_timeouts: int = 0
+    reissued_packets: int = 0
+    duplicate_responses: int = 0
+    link_retries: int = 0
+    link_crc_errors: int = 0
+    failed_links: int = 0
+    link_bandwidth_loss: float = 0.0
 
 
 class Node:
@@ -91,7 +100,13 @@ class Node:
             all(c.done for c in self.cores)
             and self.mac.idle()
             and not self._in_flight
+            and not self.mac.response_router.outstanding
         )
+
+    @property
+    def degraded(self) -> bool:
+        """True once the device lost at least one link to a hard fault."""
+        return bool(self.device.failed_links)
 
     def tick(self) -> None:
         cycle = self._cycle
@@ -123,10 +138,28 @@ class Node:
                     core.retry()
 
         # 3. MAC advances; emitted packets enter the device.
+        faulty = self.device.injector is not None
         for packet in self.mac.tick():
+            if faulty:
+                self.mac.response_router.register_dispatch(packet, cycle)
             resp = self.device.submit(packet, cycle)
+            if resp is None:
+                continue  # response lost in flight; timeout re-issues it
             self._seq += 1
             heapq.heappush(self._in_flight, (resp.complete_cycle, self._seq, resp))
+
+        # 4. Timeout recovery: re-issue packets whose response never came.
+        if faulty:
+            timeout = self.device.config.faults.timeout_cycles
+            for packet in self.mac.response_router.check_timeouts(cycle, timeout):
+                self.mac.response_router.register_dispatch(packet, cycle)
+                resp = self.device.submit(packet, cycle)
+                if resp is None:
+                    continue
+                self._seq += 1
+                heapq.heappush(
+                    self._in_flight, (resp.complete_cycle, self._seq, resp)
+                )
 
         self._cycle += 1
 
@@ -176,4 +209,15 @@ class Node:
         st.coalescing_efficiency = self.mac.stats.coalescing_efficiency
         st.bank_conflicts = self.device.bank_conflicts
         st.mean_memory_latency = self.device.stats.mean_latency
+        rr = self.mac.response_router
+        st.poisoned_responses = rr.poisoned_deliveries
+        st.response_timeouts = rr.timeouts
+        st.reissued_packets = rr.reissues
+        st.duplicate_responses = rr.duplicates_suppressed
+        st.failed_links = len(self.device.failed_links)
+        st.link_bandwidth_loss = self.device.link_bandwidth_loss
+        for link in self.device.links:
+            events = link.retry_events
+            st.link_retries += events["retries"]
+            st.link_crc_errors += events["crc_errors"]
         return st

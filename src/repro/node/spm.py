@@ -12,7 +12,6 @@ write-back decisions) plus a capacity accountant so tests can assert the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 

@@ -11,9 +11,8 @@ generality claim of section 3.
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Iterator, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.request import MemoryRequest
@@ -43,6 +42,12 @@ class SystemStats:
     remote_requests: int = 0
     responses: int = 0
 
+    # Degraded-mode outcomes (all zero when fault injection is off).
+    failed_links: int = 0
+    link_bandwidth_loss: float = 0.0
+    poisoned_responses: int = 0
+    reissued_packets: int = 0
+
 
 class NUMASystem:
     """A small mesh of MAC-equipped nodes sharing one address space."""
@@ -53,6 +58,7 @@ class NUMASystem:
         system: Optional[SystemConfig] = None,
         interconnect_latency: int = 120,
         interleave_bytes: int = 1 << 12,
+        hmc_config=None,
     ) -> None:
         n = len(streams_per_node)
         if n < 1:
@@ -60,7 +66,7 @@ class NUMASystem:
         self.home = interleaved_home(n, interleave_bytes)
         self.nodes: List[Node] = []
         for nid, streams in enumerate(streams_per_node):
-            node = Node(streams, system=system, node_id=nid)
+            node = Node(streams, system=system, hmc_config=hmc_config, node_id=nid)
             # Rewire the request router with the shared home function.
             node.mac.request_router.home_fn = self.home
             self.nodes.append(node)
@@ -110,13 +116,29 @@ class NUMASystem:
 
         self._cycle += 1
 
+    def degraded_nodes(self) -> List[int]:
+        """Nodes whose device lost at least one link to a hard fault."""
+        return [n.node_id for n in self.nodes if n.degraded]
+
     def run(self, max_cycles: int = 50_000_000) -> SystemStats:
         while not self.done():
             self.tick()
             if self._cycle > max_cycles:
                 raise RuntimeError("system simulation exceeded max_cycles")
-        self.stats.cycles = self._cycle
-        self.stats.local_requests = sum(
+        st = self.stats
+        st.cycles = self._cycle
+        st.local_requests = sum(
             n.mac.request_router.stats.local for n in self.nodes
         )
-        return self.stats
+        # Degraded-mode report: traffic was steered off dead links inside
+        # each device; surface how much aggregate bandwidth that cost.
+        st.failed_links = sum(len(n.device.failed_links) for n in self.nodes)
+        total_links = sum(len(n.device.links) for n in self.nodes)
+        st.link_bandwidth_loss = st.failed_links / total_links if total_links else 0.0
+        st.poisoned_responses = sum(
+            n.mac.response_router.poisoned_deliveries for n in self.nodes
+        )
+        st.reissued_packets = sum(
+            n.mac.response_router.reissues for n in self.nodes
+        )
+        return st

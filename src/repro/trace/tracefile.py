@@ -14,7 +14,6 @@ transparently gzip-compressed in either format.
 from __future__ import annotations
 
 import gzip
-import io
 import struct
 from pathlib import Path
 from typing import IO, Iterable, Iterator, Union

@@ -20,12 +20,12 @@ A workload describes:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.request import RequestType
+from repro.seeding import DEFAULT_SEED
 from repro.trace.record import TraceRecord
 from repro.trace.stats import ExecutionProfile
 
@@ -86,7 +86,7 @@ class Workload(abc.ABC):
     #: Eq. 2 inputs; values per benchmark are documented in registry.py.
     profile: ExecutionProfile
 
-    def __init__(self, scale: int = 1, seed: int = 2019) -> None:
+    def __init__(self, scale: int = 1, seed: int = DEFAULT_SEED) -> None:
         """``scale`` multiplies the working-set size; ``seed`` fixes RNG."""
         if scale < 1:
             raise ValueError("scale must be >= 1")

@@ -10,9 +10,10 @@ graph analytics rather than unstructured noise.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
 
 import numpy as np
+
+from repro.seeding import DEFAULT_SEED
 
 
 @dataclass(frozen=True)
@@ -43,7 +44,7 @@ def rmat_edges(
     a: float = 0.57,
     b: float = 0.19,
     c: float = 0.19,
-    seed: int = 2019,
+    seed: int = DEFAULT_SEED,
 ) -> np.ndarray:
     """Kronecker (R-MAT) edge list with the Graph500/SSCA2 parameters.
 
@@ -57,10 +58,8 @@ def rmat_edges(
     src = np.zeros(m, dtype=np.int64)
     dst = np.zeros(m, dtype=np.int64)
     ab = a + b
-    abc = a + b + c
     for bit in range(scale):
         r = rng.random(m)
-        right = r >= ab  # quadrant c or d: destination bit set
         r2 = rng.random(m)
         # Within top half: bit of src set for quadrants b? Standard RMAT:
         # a=00, b=01, c=10, d=11 over (src_bit, dst_bit).
@@ -77,7 +76,7 @@ def rmat_edges(
     return perm[edges]
 
 
-def uniform_edges(n: int, m: int, seed: int = 2019) -> np.ndarray:
+def uniform_edges(n: int, m: int, seed: int = DEFAULT_SEED) -> np.ndarray:
     """Erdos-Renyi-style random edge list: m directed edges over n vertices."""
     rng = np.random.default_rng(seed)
     return rng.integers(0, n, size=(m, 2), dtype=np.int64)
@@ -95,13 +94,13 @@ def edges_to_csr(edges: np.ndarray, n: int) -> CSRGraph:
     return CSRGraph(row_ptr=row_ptr, neighbors=sorted_dst)
 
 
-def rmat_csr(scale: int, edge_factor: int = 16, seed: int = 2019) -> CSRGraph:
+def rmat_csr(scale: int, edge_factor: int = 16, seed: int = DEFAULT_SEED) -> CSRGraph:
     """R-MAT graph in CSR form (2**scale vertices)."""
     edges = rmat_edges(scale, edge_factor, seed=seed)
     return edges_to_csr(edges, 1 << scale)
 
 
-def uniform_csr(n: int, degree: int = 16, seed: int = 2019) -> CSRGraph:
+def uniform_csr(n: int, degree: int = 16, seed: int = DEFAULT_SEED) -> CSRGraph:
     """Uniform random graph in CSR form."""
     edges = uniform_edges(n, n * degree, seed)
     return edges_to_csr(edges, n)

@@ -78,7 +78,6 @@ class Grappolo(Workload):
         n = g.num_vertices
         chunk = n // threads
         start = tid * chunk
-        csize = max(n // self.communities, 1)
         emitted = 0
         i = 0
         while emitted < ops:

@@ -12,7 +12,9 @@ IPC x RPI x 8 cores x mem-rate model of Eq. 2 (Fig. 9).
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Type
+from typing import Dict, List, Type
+
+from repro.seeding import DEFAULT_SEED
 
 from .base import Workload
 from .bots import BotsSort, NQueens, SparseLU
@@ -63,7 +65,7 @@ def benchmark_names() -> List[str]:
     return list(BENCHMARKS)
 
 
-def make(name: str, scale: int = 1, seed: int = 2019, **kwargs) -> Workload:
+def make(name: str, scale: int = 1, seed: int = DEFAULT_SEED, **kwargs) -> Workload:
     """Instantiate a benchmark by name (case-insensitive)."""
     key = name.upper()
     cls = BENCHMARKS.get(key) or AUXILIARY.get(key)
@@ -73,6 +75,6 @@ def make(name: str, scale: int = 1, seed: int = 2019, **kwargs) -> Workload:
     return cls(scale=scale, seed=seed, **kwargs)
 
 
-def all_benchmarks(scale: int = 1, seed: int = 2019) -> Dict[str, Workload]:
+def all_benchmarks(scale: int = 1, seed: int = DEFAULT_SEED) -> Dict[str, Workload]:
     """Instantiate the full evaluation set."""
     return {name: cls(scale=scale, seed=seed) for name, cls in BENCHMARKS.items()}

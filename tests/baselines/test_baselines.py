@@ -5,7 +5,6 @@ import pytest
 from repro.baselines.direct import dispatch_raw
 from repro.baselines.fixed import dispatch_fixed, useful_data_fraction
 from repro.baselines.mshr_coalescer import dispatch_mshr
-from repro.core.config import MACConfig
 from repro.core.request import MemoryRequest, RequestType
 from repro.core.stats import MACStats
 

@@ -1,6 +1,5 @@
 """Cycle-level tests for the Raw Request Aggregator (sections 4.1/4.4)."""
 
-import pytest
 
 from repro.core.aggregator import RawRequestAggregator
 from repro.core.config import MACConfig

@@ -1,6 +1,5 @@
 """Unit tests for the Aggregated Request Queue (section 4.1)."""
 
-import pytest
 
 from repro.core.arq import AggregatedRequestQueue
 from repro.core.config import MACConfig

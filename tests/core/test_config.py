@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.config import MACConfig, PAPER_CONFIG, PAPER_SYSTEM, SystemConfig
+from repro.core.config import MACConfig, PAPER_CONFIG, PAPER_SYSTEM
 
 
 class TestMACConfigDefaults:

@@ -37,6 +37,32 @@ class TestFIFOQueue:
         assert q.peek() is q.peek()
         assert len(q) == 1
 
+    def test_drops_alias_and_count(self):
+        q = FIFOQueue(1)
+        q.push(req(1))
+        assert not q.push(req(2)) and not q.push(req(3))
+        assert q.drops == q.rejected == 2
+
+    def test_high_water_tracks_peak_occupancy(self):
+        q = FIFOQueue(8)
+        for i in range(3):
+            q.push(req(i))
+        q.pop()
+        q.pop()
+        q.push(req(9))
+        assert q.high_water == 3  # peak, not current (which is 2)
+        assert len(q) == 2
+
+    def test_high_water_starts_at_zero(self):
+        assert FIFOQueue(4).high_water == 0
+
+    def test_rejected_push_does_not_raise_high_water(self):
+        q = FIFOQueue(2)
+        q.push(req(1))
+        q.push(req(2))
+        q.push(req(3))  # rejected
+        assert q.high_water == 2
+
 
 class TestRequestRouter:
     def test_default_everything_local(self):

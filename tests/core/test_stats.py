@@ -1,6 +1,5 @@
 """Unit tests for MACStats and the packet types."""
 
-import pytest
 
 from repro.core.packet import (
     CONTROL_BYTES_PER_ACCESS,

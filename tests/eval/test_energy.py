@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.packet import CoalescedRequest
 from repro.core.request import RequestType
-from repro.eval.energy import EnergyParams, EnergyReport, energy_saving, stream_energy
+from repro.eval.energy import EnergyParams, energy_saving, stream_energy
 
 
 def pkt(size):

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.config import MACConfig
-from repro.eval.sweeps import SweepPoint, best_point, format_sweep, sweep_grid
+from repro.eval.sweeps import best_point, format_sweep, sweep_grid
 
 
 class TestSweepGrid:

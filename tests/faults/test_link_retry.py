@@ -1,0 +1,220 @@
+"""Unit tests of the link retry protocol (CRC/NAK/replay, tokens, backoff).
+
+These drive :class:`repro.hmc.link.LinkChannel` with a *scripted*
+injector whose corruption decisions are fixed lists, so every cycle
+count below is computed by hand from the protocol definition.
+"""
+
+import pytest
+
+from repro.faults import FaultConfig, FaultStats
+from repro.hmc.link import (
+    CreditPool,
+    Link,
+    LinkChannel,
+    LinkFailedError,
+    RetryState,
+    _backoff,
+)
+from repro.hmc.timing import HMCTiming
+
+LAT = HMCTiming().link_latency  # 92
+
+
+class ScriptedInjector:
+    """Injector double returning pre-scripted corruption decisions."""
+
+    def __init__(self, flit=(), ack=(), dead=(), factor=1.0):
+        self.stats = FaultStats()
+        self._flit = list(flit)
+        self._ack = list(ack)
+        self._dead = set(dead)
+        self._factor = factor
+
+    def flit_corrupted(self, link, cycle, nflits, site):
+        return self._flit.pop(0) if self._flit else False
+
+    def ack_corrupted(self, link, cycle, site):
+        return self._ack.pop(0) if self._ack else False
+
+    def link_failed(self, link, cycle):
+        return link in self._dead
+
+    def degrade_factor(self, link, cycle):
+        return self._factor
+
+
+def channel(inj, **cfg_kwargs):
+    cfg = FaultConfig(**cfg_kwargs)
+    return LinkChannel(HMCTiming(), retry=RetryState(inj, cfg, 0, "req"))
+
+
+class TestCreditPool:
+    def test_acquire_within_capacity_is_free(self):
+        pool = CreditPool(8)
+        assert pool.acquire(10, 8) == 10
+        assert pool.available == 0
+
+    def test_acquire_waits_for_returns(self):
+        pool = CreditPool(8)
+        pool.acquire(0, 8)
+        pool.release(100, 8)
+        assert pool.acquire(5, 4) == 100
+
+    def test_oversized_request_rejected(self):
+        with pytest.raises(ValueError):
+            CreditPool(4).acquire(0, 5)
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            CreditPool(0)
+
+
+class TestCleanPath:
+    def test_clean_transmit_matches_fast_path(self):
+        plain = LinkChannel(HMCTiming())
+        reliable = channel(ScriptedInjector())
+        assert plain.transmit(0, 4) == reliable.transmit(0, 4) == 4 + LAT
+        assert plain.ready_cycle == reliable.ready_cycle == 4
+        assert plain.flits == reliable.flits == 4
+        assert reliable.retry.delivered == [(0, 4 + LAT)]
+
+    def test_sequence_numbers_increment(self):
+        ch = channel(ScriptedInjector())
+        ch.transmit(0, 2)
+        ch.transmit(0, 2)
+        ch.transmit(0, 2)
+        assert [seq for seq, _ in ch.retry.delivered] == [0, 1, 2]
+
+
+class TestCrcRetry:
+    def test_one_corruption_replays_after_nak_and_backoff(self):
+        ch = channel(ScriptedInjector(flit=[True]))
+        # Attempt 1: ser 0..4, arrives 96 corrupted; NAK lands 96+92=188;
+        # backoff 8 -> replay starts 196, ser ends 200, arrives 292.
+        assert ch.transmit(0, 4) == 200 + LAT
+        rs = ch.retry
+        assert rs.crc_errors == 1 and rs.naks == 1 and rs.retries == 1
+        assert rs.delivered == [(0, 200 + LAT)]
+        assert ch.packets == 1  # one logical packet...
+        assert ch.flits == 8  # ...but both attempts are wire traffic
+
+    def test_backoff_is_exponential_and_capped(self):
+        assert [_backoff(8, n) for n in (1, 2, 3, 4)] == [8, 16, 32, 64]
+        assert _backoff(8, 100) == 8 << 16
+
+    def test_two_corruptions_compound_backoff(self):
+        ch = channel(ScriptedInjector(flit=[True, True]))
+        # a1: arrive 96, replay at 96+92+8=196; a2: arrive 292, replay at
+        # 292+92+16=400; a3: ser 400..404, arrive 496.
+        assert ch.transmit(0, 4) == 404 + LAT
+        assert ch.retry.retries == 2
+
+    def test_retry_limit_kills_link(self):
+        ch = channel(ScriptedInjector(flit=[True] * 3), retry_limit=2)
+        with pytest.raises(LinkFailedError) as exc:
+            ch.transmit(0, 4)
+        assert "retry limit" in str(exc.value)
+        rs = ch.retry
+        assert rs.failed and rs.failed_cycle > 0
+        assert rs.injector.stats.site("link0.req")["link_failed"] == 1
+        # The dead channel refuses further traffic immediately.
+        with pytest.raises(LinkFailedError):
+            ch.transmit(1000, 1)
+
+    def test_exactly_one_delivery_despite_retries(self):
+        ch = channel(ScriptedInjector(flit=[True, False, True, False]))
+        ch.transmit(0, 2)
+        ch.transmit(0, 2)
+        assert [seq for seq, _ in ch.retry.delivered] == [0, 1]
+
+
+class TestAckLoss:
+    def test_lost_ack_causes_suppressed_duplicate(self):
+        ch = channel(ScriptedInjector(ack=[True]))
+        # First copy arrives intact at 96 and is delivered; its ACK is
+        # lost, so the sender replays; the receiver discards the copy.
+        assert ch.transmit(0, 4) == 4 + LAT
+        rs = ch.retry
+        assert rs.delivered == [(0, 4 + LAT)]
+        assert rs.duplicates == 1 and rs.retries == 1
+        assert rs.crc_errors == 0
+        assert rs.injector.stats.site("link0.req")["duplicate_suppressed"] == 1
+
+    def test_persistent_ack_loss_kills_link(self):
+        ch = channel(ScriptedInjector(ack=[True] * 3), retry_limit=2)
+        with pytest.raises(LinkFailedError) as exc:
+            ch.transmit(0, 4)
+        assert "lost acks" in str(exc.value)
+        # Delivery happened before the protocol gave up on acking it.
+        assert len(ch.retry.delivered) == 1
+
+
+class TestFlowControl:
+    def test_token_exhaustion_stalls_sender(self):
+        ch = channel(ScriptedInjector(), link_tokens=4, retry_buffer_flits=256)
+        assert ch.transmit(0, 4) == 4 + LAT
+        # Tokens return when the first packet is consumed at 96; the
+        # second packet cannot start serializing before that.
+        assert ch.transmit(0, 4) == 96 + 4 + LAT
+        assert ch.retry.stall_cycles == 96 - 4
+
+    def test_retry_buffer_exhaustion_stalls_sender(self):
+        ch = channel(ScriptedInjector(), link_tokens=256, retry_buffer_flits=4)
+        assert ch.transmit(0, 4) == 4 + LAT
+        # Retry-buffer space frees when the ACK lands at 96+92=188.
+        assert ch.transmit(0, 4) == 188 + 4 + LAT
+        assert ch.retry.stall_cycles == 188 - 4
+
+    def test_no_stall_with_roomy_pools(self):
+        ch = channel(ScriptedInjector())
+        for _ in range(8):
+            ch.transmit(0, 4)
+        assert ch.retry.stall_cycles == 0
+
+
+class TestHardFaults:
+    def test_scheduled_failure_raises_on_next_use(self):
+        ch = channel(ScriptedInjector(dead={0}))
+        with pytest.raises(LinkFailedError):
+            ch.transmit(0, 4)
+        assert ch.retry.failed
+        assert ch.flits == 0  # nothing ever hit the wire
+
+    def test_degradation_slows_serialization(self):
+        ch = channel(ScriptedInjector(factor=2.0))
+        assert ch.transmit(0, 4) == 4 * 2 + LAT
+        healthy = channel(ScriptedInjector())
+        assert healthy.transmit(0, 4) == 4 + LAT
+
+
+class TestLinkAggregation:
+    def test_attach_faults_arms_both_channels(self):
+        link = Link(3, HMCTiming())
+        inj = ScriptedInjector()
+        link.attach_faults(inj, FaultConfig())
+        assert link.request.retry is not None
+        assert link.response.retry is not None
+        assert link.request.retry.site == "link3.req"
+        assert link.response.retry.site == "link3.rsp"
+        assert not link.failed and link.failed_cycle == -1
+
+    def test_retry_events_aggregate_both_directions(self):
+        link = Link(0, HMCTiming())
+        inj = ScriptedInjector(flit=[True, False, True])
+        link.attach_faults(inj, FaultConfig())
+        link.request.transmit(0, 2)
+        link.response.transmit(0, 2)
+        assert link.request.retry.crc_errors == 1
+        assert link.response.retry.crc_errors == 1
+        events = link.retry_events
+        assert events["crc_errors"] == 2
+        assert events["retries"] == 2
+
+    def test_failed_reports_first_death(self):
+        link = Link(0, HMCTiming())
+        link.attach_faults(ScriptedInjector(flit=[True] * 20), FaultConfig(retry_limit=1))
+        with pytest.raises(LinkFailedError):
+            link.request.transmit(0, 4)
+        assert link.failed
+        assert link.failed_cycle == link.request.retry.failed_cycle

@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.packet import CoalescedRequest
 from repro.core.request import RequestType
-from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
 
 
@@ -94,7 +93,7 @@ class TestRouting:
         dev = HMCDevice()
         for i in range(64):
             dev.submit(read((i * 37 % 512) << 8), i)
-        used = [l for l in dev.links if l.request.packets > 0]
+        used = [link for link in dev.links if link.request.packets > 0]
         assert len(used) == len(dev.links)
 
     def test_reads_and_writes_counted(self):
@@ -117,9 +116,9 @@ class TestRouting:
         r, w = HMCDevice(), HMCDevice()
         r.submit(read(0x1000, 256), 0)
         w.submit(write(0x1000, 256), 0)
-        assert sum(l.response.flits for l in r.links) == 17
-        assert sum(l.response.flits for l in w.links) == 1
-        assert sum(l.request.flits for l in w.links) == 17
+        assert sum(link.response.flits for link in r.links) == 17
+        assert sum(link.response.flits for link in w.links) == 1
+        assert sum(link.request.flits for link in w.links) == 17
         assert r.stats.wire_bytes == w.stats.wire_bytes == 288
 
 

@@ -1,8 +1,8 @@
-"""Timing-model arithmetic tests."""
+"""Timing-model arithmetic and validation tests."""
 
 import pytest
 
-from repro.hmc.timing import HMCTiming
+from repro.hmc.timing import TIMING_FIELDS, HMCTiming
 
 
 class TestTiming:
@@ -13,6 +13,24 @@ class TestTiming:
     def test_negative_rejected(self):
         with pytest.raises(ValueError):
             HMCTiming(t_activate=-1)
+
+    @pytest.mark.parametrize("name", TIMING_FIELDS)
+    def test_every_field_rejects_negative(self, name):
+        with pytest.raises(ValueError, match=name):
+            HMCTiming(**{name: -1})
+
+    @pytest.mark.parametrize("name", TIMING_FIELDS)
+    def test_every_field_rejects_non_integer(self, name):
+        with pytest.raises(ValueError, match="integer cycle count"):
+            HMCTiming(**{name: 1.5})
+
+    @pytest.mark.parametrize("name", TIMING_FIELDS)
+    def test_zero_is_legal(self, name):
+        # Derived models (HBM channel reuse) null out stages they lack.
+        assert getattr(HMCTiming(**{name: 0}), name) == 0
+
+    def test_timing_fields_cover_every_dataclass_field(self):
+        assert set(TIMING_FIELDS) == set(HMCTiming.__dataclass_fields__)
 
     def test_burst_scaling(self):
         t = HMCTiming()

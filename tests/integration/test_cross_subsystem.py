@@ -3,12 +3,9 @@
 import pytest
 
 from repro.core.config import MACConfig
-from repro.core.mac import coalesce_trace_fast
-from repro.core.stats import MACStats
 from repro.eval.energy import energy_saving
 from repro.eval.runner import cached_trace, compare_policies, dispatch
 from repro.trace.predictor import predict_efficiency
-from repro.trace.record import to_requests
 from repro.trace.analyzer import row_locality
 
 

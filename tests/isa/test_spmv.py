@@ -4,7 +4,6 @@ import pytest
 
 from repro.core.config import MACConfig
 from repro.core.mac import coalesce_trace_fast
-from repro.core.request import RequestType
 from repro.core.stats import MACStats
 from repro.isa.kernels import run_spmv
 from repro.trace.record import to_requests

@@ -1,6 +1,5 @@
 """Closed-loop node with multithreaded cores (section 3's extension)."""
 
-import pytest
 
 from repro.core.request import MemoryRequest, RequestType
 from repro.node.node import Node

@@ -11,7 +11,7 @@ from repro.core.request import RequestType
 from repro.core.stats import MACStats
 from repro.trace.predictor import predict_efficiency
 from repro.trace.record import TraceRecord, to_requests
-from repro.workloads.registry import benchmark_names, make
+from repro.workloads.registry import make
 
 
 def random_trace(seed, n=500, rows=40, fence_frac=0.01):

@@ -1,10 +1,8 @@
 """Tests for the CSR graph substrate."""
 
 import numpy as np
-import pytest
 
 from repro.workloads.graphs import (
-    CSRGraph,
     edges_to_csr,
     rmat_csr,
     rmat_edges,

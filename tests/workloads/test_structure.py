@@ -3,7 +3,6 @@ access-pattern features its benchmark is modelled on."""
 
 import collections
 
-import pytest
 
 from repro.core.request import RequestType
 from repro.workloads.registry import make
