@@ -1,0 +1,98 @@
+"""Parallel evaluation engine — serial vs process-pool wall time.
+
+Runs one 27-cell design-space grid (3 ARQ depths x 3 entry sizes x 3 row
+sizes over SG) twice through ``sweep_grid``: serially (``jobs=1``) and on
+a 4-worker process pool (``jobs=4``, override with ``--jobs N``).  The
+two result lists must be bit-identical — the pool only changes wall
+time, never values or order — and both timings land in the benchmark
+JSON (``extra_info``) so the speedup trajectory is tracked across runs.
+
+On a >=4-core machine the pool is expected to cut wall time by >=2x;
+on fewer cores the numbers are still recorded but the speedup assertion
+is skipped (a pool cannot beat serial without spare cores).
+"""
+
+import os
+import time
+
+from repro.eval.report import format_table
+from repro.eval.runner import cached_trace
+from repro.eval.sweeps import sweep_grid
+
+from conftest import attach, run_figure
+
+AXES = {
+    "arq_entries": [8, 32, 128],
+    "arq_entry_bytes": [46, 64, 128],
+    "row_bytes": [128, 256, 512],
+}
+WORKLOADS = ("SG",)
+THREADS = 4
+OPS_PER_THREAD = 2000
+
+
+def _grid(jobs: int):
+    return sweep_grid(
+        AXES,
+        workloads=WORKLOADS,
+        threads=THREADS,
+        ops_per_thread=OPS_PER_THREAD,
+        jobs=jobs,
+    )
+
+
+def test_parallel_eval_speedup(benchmark, eval_jobs):
+    jobs = eval_jobs if eval_jobs != 1 else 4
+
+    def measure():
+        # Warm the trace cache first so both runs pay zero generation
+        # cost (workers inherit the warm cache through fork).
+        for name in WORKLOADS:
+            cached_trace(name, THREADS, OPS_PER_THREAD)
+        t0 = time.perf_counter()
+        serial = _grid(jobs=1)
+        t_serial = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        parallel = _grid(jobs=jobs)
+        t_parallel = time.perf_counter() - t0
+        return serial, parallel, t_serial, t_parallel
+
+    serial, parallel, t_serial, t_parallel = run_figure(
+        benchmark, measure, "Parallel eval: serial vs pool wall time"
+    )
+
+    # Determinism is the contract: same order, same values, any jobs.
+    assert parallel == serial
+
+    cells = len(serial)
+    speedup = t_serial / t_parallel if t_parallel > 0 else float("inf")
+    cores = os.cpu_count() or 1
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["grid cells", cells],
+                ["workers", jobs],
+                ["cores", cores],
+                ["serial (s)", round(t_serial, 3)],
+                ["parallel (s)", round(t_parallel, 3)],
+                ["speedup", round(speedup, 2)],
+            ],
+            title="sweep_grid serial vs parallel",
+        )
+    )
+    attach(
+        benchmark,
+        cells=cells,
+        jobs=jobs,
+        cores=cores,
+        serial_seconds=t_serial,
+        parallel_seconds=t_parallel,
+        speedup=speedup,
+    )
+
+    assert cells >= 27
+    # Speedup only exists with spare cores; record-but-don't-fail below 4.
+    if cores >= 4 and jobs >= 4:
+        assert speedup >= 2.0, f"expected >=2x at {jobs} workers, got {speedup:.2f}x"

@@ -9,7 +9,30 @@ only.  Results are attached as ``extra_info`` (visible in
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict
+from typing import Any, Callable
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    # Shared knob with tests/conftest.py; tolerate double registration
+    # when both conftests load in one invocation.
+    try:
+        parser.addoption(
+            "--jobs",
+            type=int,
+            default=1,
+            help="worker processes for parallel-capable benches "
+            "(1 = serial, 0 = all cores)",
+        )
+    except ValueError:
+        pass
+
+
+@pytest.fixture
+def eval_jobs(request) -> int:
+    """The --jobs knob: worker count for parallel-capable benches."""
+    return int(request.config.getoption("--jobs"))
 
 
 def run_figure(benchmark, fn: Callable[[], Any], title: str) -> Any:

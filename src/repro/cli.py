@@ -198,24 +198,34 @@ def cmd_replay(args) -> int:
 
 def cmd_figures(args) -> int:
     from repro.eval import experiments as E
+    from repro.eval.parallel import print_progress, resolve_jobs
 
+    jobs = resolve_jobs(args.jobs)
     kw = dict(threads=2, ops_per_thread=500) if args.fast else {}
+    kw["jobs"] = jobs
     wanted = set(args.only or [])
 
     def want(tag: str) -> bool:
         return not wanted or tag in wanted
 
+    def progress(tag: str):
+        # Log every few cells so long figure fan-outs show liveness.
+        return print_progress(prefix=f"{tag}: ") if jobs > 1 else None
+
     if want("fig10"):
         table = E.fig10_coalescing_efficiency(
-            total_ops=4000 if args.fast else 24000
+            total_ops=4000 if args.fast else 24000,
+            jobs=jobs,
+            progress=progress("fig10"),
+            log_every=4,
         )
         avg = statistics.mean(table[8].values())
         print(f"fig10: avg efficiency @8 threads {pct(avg)} (paper 52.86%)")
     if want("fig11"):
-        sweep = E.fig11_arq_sweep(**kw)
+        sweep = E.fig11_arq_sweep(progress=progress("fig11"), log_every=4, **kw)
         print(f"fig11: {[pct(v) for v in sweep.values()]}")
     if want("fig17"):
-        f17 = E.fig17_speedup(**kw)
+        f17 = E.fig17_speedup(progress=progress("fig17"), log_every=4, **kw)
         mk = statistics.mean(v["makespan_speedup"] for v in f17.values())
         print(f"fig17: avg makespan speedup {pct(mk)} (paper 60.73%)")
     print("done; see `pytest benchmarks/ --benchmark-only -s` for every figure")
@@ -306,6 +316,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate paper figures (summary)")
     p.add_argument("--fast", action="store_true")
     p.add_argument("--only", nargs="*", help="e.g. fig10 fig11 fig17")
+    p.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for figure fan-out (1 = serial, 0 = all "
+        "cores); results are bit-identical for any value",
+    )
     p.set_defaults(func=cmd_figures)
 
     p = sub.add_parser("info", help="print configuration and workload list")

@@ -63,6 +63,22 @@ class MAC:
             self.config, self.codec, policy, self.stats
         )
 
+    # -- stats wiring -------------------------------------------------------
+
+    def attach_stats(self, stats: MACStats) -> None:
+        """Point every stats-recording component at ``stats``.
+
+        The MAC and its aggregator share one :class:`MACStats`; rebinding
+        only ``mac.stats`` after construction would leave the aggregator
+        recording into the orphaned original (the builder, ARQ and
+        routers keep their own plain counters and need no rewiring).
+        External code that swaps the stats sink — e.g.
+        :func:`repro.eval.runner.dispatch` — must use this method rather
+        than assigning attributes piecemeal.
+        """
+        self.stats = stats
+        self.aggregator.stats = stats
+
     # -- input ------------------------------------------------------------
 
     def submit(self, request: MemoryRequest) -> bool:

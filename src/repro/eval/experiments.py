@@ -4,12 +4,17 @@ Each function regenerates the rows/series of its figure and returns a
 plain dict mapping labels to measured values, together with the paper's
 headline number(s) where the text states them, so benches and
 EXPERIMENTS.md can print paper-vs-measured side by side.
+
+Per-benchmark drivers accept ``jobs`` (default 1 = serial): the
+independent benchmark/thread-count cells run on the process pool of
+:mod:`repro.eval.parallel`, with results aggregated in a fixed order so
+the output is bit-identical to a serial run for any worker count.
 """
 
 from __future__ import annotations
 
 import statistics
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Any, Dict, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -21,6 +26,7 @@ from repro.workloads.registry import BENCHMARKS, benchmark_names
 
 from . import metrics
 from .area import mac_area
+from .parallel import ProgressFn, run_tasks
 from .runner import (
     DEFAULT_OPS_PER_THREAD,
     DEFAULT_THREADS,
@@ -30,8 +36,66 @@ from .runner import (
 )
 
 # ---------------------------------------------------------------------------
+# Picklable per-cell workers for the parallel figure drivers
+# ---------------------------------------------------------------------------
+
+
+def _mac_cell(task: Tuple) -> Dict[str, Any]:
+    """(name, threads, ops, config_kwargs) -> window-engine stat scalars.
+
+    Runs in pool workers: returns only small plain values, never packets
+    or devices, so results pickle cheaply.
+    """
+    name, threads, ops_per_thread, config_kwargs = task
+    cfg = MACConfig(**dict(config_kwargs)) if config_kwargs else None
+    st = dispatch(name, "mac", threads, ops_per_thread, config=cfg).stats
+    return {
+        "efficiency": st.coalescing_efficiency,
+        "bandwidth_efficiency": st.coalesced_bandwidth_efficiency,
+        "avg_targets": st.avg_targets_per_packet,
+        "max_targets": st.max_targets_per_packet,
+        "saved_bytes": float(st.bandwidth_saved_bytes()),
+        "wire_saved_bytes": float(st.wire_saved_bytes()),
+        "raw_requests": st.memory_raw_requests,
+    }
+
+
+def _compare_cell(task: Tuple) -> Dict[str, Any]:
+    """(name, threads, ops) -> raw-vs-MAC device replay scalars."""
+    name, threads, ops_per_thread = task
+    res = compare_policies(name, threads, ops_per_thread)
+    raw, mac = res["raw"], res["mac"]
+    return {
+        "raw_conflicts": raw.bank_conflicts,
+        "mac_conflicts": mac.bank_conflicts,
+        "raw_makespan": raw.makespan,
+        "mac_makespan": mac.makespan,
+        "raw_latency": raw.mean_latency,
+        "mac_latency": mac.mean_latency,
+    }
+
+# ---------------------------------------------------------------------------
 # Figure 1 — cache miss-rate analysis
 # ---------------------------------------------------------------------------
+
+
+def _missrate_cell(task: Tuple) -> float:
+    """(name, threads, ops, l1, llc, prefetch) -> LLC miss rate."""
+    name, threads, ops_per_thread, l1_bytes, llc_bytes, prefetch = task
+    from repro.workloads.registry import make as make_wl
+
+    if name == "SG":
+        wl = make_wl("SG", hot_frac=0.0)
+        trace: Sequence[TraceRecord] = wl.generate(
+            threads=threads, ops_per_thread=ops_per_thread
+        )
+    else:
+        trace = cached_trace(name, threads, ops_per_thread)
+    hier = CacheHierarchy(
+        cores=threads, l1_bytes=l1_bytes, llc_bytes=llc_bytes, prefetch=prefetch
+    )
+    hier.run_trace(trace)
+    return hier.stats.miss_rate
 
 
 def fig1_benchmark_missrates(
@@ -41,6 +105,7 @@ def fig1_benchmark_missrates(
     l1_bytes: int = 4 << 10,
     llc_bytes: int = 64 << 10,
     prefetch: bool = False,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Fig. 1 (left): LLC-to-memory miss rate per benchmark.
 
@@ -54,24 +119,13 @@ def fig1_benchmark_missrates(
     processor would run them: SG uses uniform-random gathers (the
     section 2.1 definition: "C[i] is a random positive integer").
     """
-    from repro.trace.record import TraceRecord  # local: avoids cycle
-    from repro.workloads.registry import make as make_wl
-
-    out: Dict[str, float] = {}
-    for name in names or benchmark_names():
-        if name == "SG":
-            wl = make_wl("SG", hot_frac=0.0)
-            trace: Sequence[TraceRecord] = wl.generate(
-                threads=threads, ops_per_thread=ops_per_thread
-            )
-        else:
-            trace = cached_trace(name, threads, ops_per_thread)
-        hier = CacheHierarchy(
-            cores=threads, l1_bytes=l1_bytes, llc_bytes=llc_bytes, prefetch=prefetch
-        )
-        hier.run_trace(trace)
-        out[name] = hier.stats.miss_rate
-    return out
+    bench = list(names or benchmark_names())
+    tasks = [
+        (name, threads, ops_per_thread, l1_bytes, llc_bytes, prefetch)
+        for name in bench
+    ]
+    rates = run_tasks(_missrate_cell, tasks, jobs=jobs)
+    return dict(zip(bench, rates))
 
 
 def fig1_seq_vs_random(
@@ -151,20 +205,25 @@ def fig9_requests_per_cycle(cores: int = 8) -> Dict[str, float]:
 def fig10_coalescing_efficiency(
     thread_counts: Sequence[int] = (2, 4, 8),
     total_ops: int = 24_000,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 10: {threads: {benchmark: efficiency}}.
 
     Paper: averages 48.37 / 50.51 / 52.86 % for 2/4/8 threads; >60 % for
     MG, GRAPPOLO, SG, SP and SPARSELU at 8 threads.
     """
-    out: Dict[int, Dict[str, float]] = {}
-    for t in thread_counts:
-        row: Dict[str, float] = {}
-        for name in benchmark_names():
-            res = dispatch(name, "mac", threads=t, ops_per_thread=total_ops // t)
-            row[name] = res.stats.coalescing_efficiency
-        out[t] = row
-    return out
+    names = benchmark_names()
+    tasks = [
+        (name, t, total_ops // t, ()) for t in thread_counts for name in names
+    ]
+    cells = run_tasks(_mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    it = iter(cells)
+    return {
+        t: {name: next(it)["efficiency"] for name in names}
+        for t in thread_counts
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -176,22 +235,26 @@ def fig11_arq_sweep(
     entries: Sequence[int] = (8, 16, 32, 64, 128, 256),
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
 ) -> Dict[int, float]:
     """Fig. 11: suite-average efficiency per ARQ entry count.
 
     Paper: 37.58 % -> 56.04 % from 8 to 256 entries with diminishing
     returns (+22.11 / +15.72 / +5.53 % relative at 16/32/64).
     """
-    out: Dict[int, float] = {}
-    for n in entries:
-        cfg = MACConfig(arq_entries=n)
-        effs = [
-            dispatch(name, "mac", threads, ops_per_thread, config=cfg)
-            .stats.coalescing_efficiency
-            for name in benchmark_names()
-        ]
-        out[n] = statistics.mean(effs)
-    return out
+    names = benchmark_names()
+    tasks = [
+        (name, threads, ops_per_thread, (("arq_entries", n),))
+        for n in entries
+        for name in names
+    ]
+    cells = run_tasks(_mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    it = iter(cells)
+    return {
+        n: statistics.mean(next(it)["efficiency"] for _ in names) for n in entries
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -202,6 +265,9 @@ def fig11_arq_sweep(
 def fig12_bank_conflicts(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
 ) -> Dict[str, Tuple[int, int]]:
     """Fig. 12: {benchmark: (conflicts without MAC, with MAC)}.
 
@@ -210,11 +276,13 @@ def fig12_bank_conflicts(
     benchmark reduces conflicts, most dramatically the high-locality
     ones (NQUEENS, SP).
     """
-    out: Dict[str, Tuple[int, int]] = {}
-    for name in benchmark_names():
-        res = compare_policies(name, threads, ops_per_thread)
-        out[name] = (res["raw"].bank_conflicts, res["mac"].bank_conflicts)
-    return out
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread) for name in names]
+    cells = run_tasks(_compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    return {
+        name: (cell["raw_conflicts"], cell["mac_conflicts"])
+        for name, cell in zip(names, cells)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -225,17 +293,19 @@ def fig12_bank_conflicts(
 def fig13_bandwidth_efficiency(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
 ) -> Dict[str, float]:
     """Fig. 13: per-benchmark coalesced bandwidth efficiency.
 
     Raw 16 B traffic is 33.33 % by construction; paper average for
     coalesced traffic is 70.35 %.
     """
-    out: Dict[str, float] = {}
-    for name in benchmark_names():
-        res = dispatch(name, "mac", threads, ops_per_thread)
-        out[name] = res.stats.coalesced_bandwidth_efficiency
-    return out
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread, ()) for name in names]
+    cells = run_tasks(_mac_cell, tasks, jobs=jobs)
+    return {
+        name: cell["bandwidth_efficiency"] for name, cell in zip(names, cells)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -246,6 +316,7 @@ def fig13_bandwidth_efficiency(
 def fig14_bandwidth_saving(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 14: control bytes saved by aggregation per benchmark.
 
@@ -254,16 +325,18 @@ def fig14_bandwidth_saving(
     the net-wire saving that additionally charges overfetched payload.
     Paper: 22.76 GB average at paper-scale traces.
     """
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread, ()) for name in names]
+    cells = run_tasks(_mac_cell, tasks, jobs=jobs)
     out: Dict[str, Dict[str, float]] = {}
-    for name in benchmark_names():
-        res = dispatch(name, "mac", threads, ops_per_thread)
-        saved = res.stats.bandwidth_saved_bytes()
-        wire = res.stats.wire_saved_bytes()
-        raw_n = res.stats.memory_raw_requests
+    for name, cell in zip(names, cells):
+        raw_n = cell["raw_requests"]
         out[name] = {
-            "saved_bytes": float(saved),
-            "saved_bytes_per_request": saved / raw_n if raw_n else 0.0,
-            "wire_saved_bytes_per_request": wire / raw_n if raw_n else 0.0,
+            "saved_bytes": cell["saved_bytes"],
+            "saved_bytes_per_request": cell["saved_bytes"] / raw_n if raw_n else 0.0,
+            "wire_saved_bytes_per_request": (
+                cell["wire_saved_bytes"] / raw_n if raw_n else 0.0
+            ),
         }
     return out
 
@@ -276,19 +349,19 @@ def fig14_bandwidth_saving(
 def fig15_targets_per_entry(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
 ) -> Dict[str, Tuple[float, int]]:
     """Fig. 15: {benchmark: (avg targets/packet, max)}.
 
     Paper: average 2.13, maximum 3.14, hardware limit 12.
     """
-    out: Dict[str, Tuple[float, int]] = {}
-    for name in benchmark_names():
-        res = dispatch(name, "mac", threads, ops_per_thread)
-        out[name] = (
-            res.stats.avg_targets_per_packet,
-            res.stats.max_targets_per_packet,
-        )
-    return out
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread, ()) for name in names]
+    cells = run_tasks(_mac_cell, tasks, jobs=jobs)
+    return {
+        name: (cell["avg_targets"], cell["max_targets"])
+        for name, cell in zip(names, cells)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -312,6 +385,9 @@ def fig16_space_overhead(
 def fig17_speedup(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 17: per-benchmark memory-system latency reduction.
 
@@ -320,17 +396,20 @@ def fig17_speedup(
     >70 % for MG, GRAPPOLO, SG and SPARSELU.  We report both makespan
     and mean-latency reductions.
     """
-    out: Dict[str, Dict[str, float]] = {}
-    for name in benchmark_names():
-        res = compare_policies(name, threads, ops_per_thread)
-        raw, mac = res["raw"], res["mac"]
-        out[name] = {
-            "makespan_speedup": metrics.speedup(raw.makespan, mac.makespan),
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread) for name in names]
+    cells = run_tasks(_compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    return {
+        name: {
+            "makespan_speedup": metrics.speedup(
+                cell["raw_makespan"], cell["mac_makespan"]
+            ),
             "latency_speedup": metrics.speedup(
-                max(raw.mean_latency, 1e-9), mac.mean_latency
+                max(cell["raw_latency"], 1e-9), cell["mac_latency"]
             ),
         }
-    return out
+        for name, cell in zip(names, cells)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -361,25 +440,32 @@ def table1_config() -> Dict[str, object]:
 # ---------------------------------------------------------------------------
 
 
-def ablation_fixed_256(
-    threads: int = DEFAULT_THREADS,
-    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
-) -> Dict[str, Dict[str, float]]:
-    """Quantifies section 2.3.2: always-256 B packets look great on
-    Eq. 1 but waste most of the transferred data on irregular traffic."""
+def _ablation_cell(task: Tuple) -> Dict[str, float]:
+    """(name, threads, ops) -> fixed-256 B vs MAC efficiency scalars."""
     from repro.core.stats import MACStats
     from repro.trace.record import to_requests
 
-    out: Dict[str, Dict[str, float]] = {}
-    for name in benchmark_names():
-        trace = cached_trace(name, threads, ops_per_thread)
-        st = MACStats()
-        pkts = dispatch_fixed(list(to_requests(trace)), stats=st)
-        mac_res = dispatch(name, "mac", threads, ops_per_thread)
-        out[name] = {
-            "fixed_bandwidth_eff": st.coalesced_bandwidth_efficiency,
-            "fixed_useful_fraction": useful_data_fraction(pkts),
-            "mac_bandwidth_eff": mac_res.stats.coalesced_bandwidth_efficiency,
-            "mac_useful_fraction": useful_data_fraction(mac_res.packets),
-        }
-    return out
+    name, threads, ops_per_thread = task
+    trace = cached_trace(name, threads, ops_per_thread)
+    st = MACStats()
+    pkts = dispatch_fixed(list(to_requests(trace)), stats=st)
+    mac_res = dispatch(name, "mac", threads, ops_per_thread)
+    return {
+        "fixed_bandwidth_eff": st.coalesced_bandwidth_efficiency,
+        "fixed_useful_fraction": useful_data_fraction(pkts),
+        "mac_bandwidth_eff": mac_res.stats.coalesced_bandwidth_efficiency,
+        "mac_useful_fraction": useful_data_fraction(mac_res.packets),
+    }
+
+
+def ablation_fixed_256(
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    jobs: int = 1,
+) -> Dict[str, Dict[str, float]]:
+    """Quantifies section 2.3.2: always-256 B packets look great on
+    Eq. 1 but waste most of the transferred data on irregular traffic."""
+    names = benchmark_names()
+    tasks = [(name, threads, ops_per_thread) for name in names]
+    cells = run_tasks(_ablation_cell, tasks, jobs=jobs)
+    return dict(zip(names, cells))

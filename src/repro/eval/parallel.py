@@ -1,0 +1,176 @@
+"""Deterministic process-pool execution for the evaluation layer.
+
+Every figure driver and design-space sweep in :mod:`repro.eval` reduces
+to the same shape: map a pure, picklable task function over a list of
+task descriptors and aggregate the results.  This module provides that
+map with three guarantees:
+
+* **Determinism** — results come back in task order regardless of worker
+  count or completion order.  Each task carries an implicit index (its
+  position in the input sequence); chunk results are written back into
+  their original slots, so ``run_tasks(fn, tasks, jobs=N)`` is
+  element-for-element identical to ``[fn(t) for t in tasks]`` for every
+  ``N``.  Task functions must not depend on hidden cross-task state;
+  anything stochastic must derive its seed from the task descriptor
+  (see :func:`repro.seeding.derive_seed`), never from scheduling.
+* **Graceful fallback** — ``jobs=1`` (the default everywhere) runs
+  in-process with no pool, no pickling and no forking; so does any
+  platform without the ``fork`` start method (the pool inherits warmed
+  per-worker caches by forking, and spawn-based pools cannot execute
+  tasks defined in unimportable ``__main__`` modules).
+* **Cheap scheduling** — tasks are submitted in contiguous chunks
+  (default: ~4 chunks per worker) so per-task IPC overhead amortizes
+  over a chunk, while late chunks still balance load across workers.
+
+Workers warm their private trace cache (:class:`repro.eval.runner.TraceCache`)
+either by inheriting the parent's cache through ``fork`` or via the
+``warm`` initializer argument, so a trace is generated at most once per
+worker no matter how tasks are scheduled.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import sys
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Progress callback signature: ``progress(done, total)``.
+ProgressFn = Callable[[int, int], None]
+
+#: Trace-warming spec: ``(workload, threads, ops_per_thread, seed)``.
+WarmSpec = Tuple[str, int, int, int]
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` knob: None/1 -> serial, <=0 -> all cores."""
+    if jobs is None:
+        return 1
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def pool_available() -> bool:
+    """Whether this platform supports the fork-based worker pool."""
+    try:
+        return "fork" in mp.get_all_start_methods()
+    except Exception:  # pragma: no cover - exotic platforms
+        return False
+
+
+def print_progress(prefix: str = "", stream=None) -> ProgressFn:
+    """Progress callback printing ``prefix done/total`` lines (CLI use)."""
+
+    out = stream if stream is not None else sys.stderr
+
+    def report(done: int, total: int) -> None:
+        print(f"{prefix}{done}/{total}", file=out, flush=True)
+
+    return report
+
+
+def _run_chunk(fn: Callable[[T], R], chunk: Sequence[T]) -> List[R]:
+    """Worker-side body: execute one contiguous chunk of tasks."""
+    return [fn(task) for task in chunk]
+
+
+def _init_worker(warm: Tuple[WarmSpec, ...]) -> None:
+    """Pool initializer: pre-generate traces into the worker's cache."""
+    if warm:
+        from repro.eval.runner import warm_trace_cache
+
+        warm_trace_cache(warm)
+
+
+class _ProgressGate:
+    """Invoke the callback when crossing every ``log_every`` completions."""
+
+    def __init__(self, progress: Optional[ProgressFn], total: int, log_every: int):
+        self.progress = progress
+        self.total = total
+        self.log_every = max(1, log_every)
+        self.done = 0
+
+    def advance(self, n: int = 1) -> None:
+        if self.progress is None:
+            self.done += n
+            return
+        before = self.done // self.log_every
+        self.done += n
+        if self.done // self.log_every > before or self.done == self.total:
+            self.progress(self.done, self.total)
+
+
+def run_tasks(
+    fn: Callable[[T], R],
+    tasks: Iterable[T],
+    jobs: Optional[int] = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
+    chunksize: Optional[int] = None,
+    warm: Optional[Sequence[WarmSpec]] = None,
+) -> List[R]:
+    """Map ``fn`` over ``tasks``, optionally on a process pool.
+
+    Args:
+        fn: a picklable (module-level) function of one task descriptor.
+        tasks: picklable task descriptors; order defines result order.
+        jobs: worker processes (1 = in-process serial, <=0 = all cores).
+        progress: optional ``progress(done, total)`` callback.
+        log_every: invoke ``progress`` every this many completed tasks
+            (the final completion always reports).
+        chunksize: tasks per pool submission; default targets ~4 chunks
+            per worker.
+        warm: trace specs pre-generated in each worker's cache (see
+            :func:`repro.eval.runner.warm_trace_cache`).
+
+    Returns:
+        ``[fn(t) for t in tasks]`` — bit-identical to the serial run
+        regardless of worker count or completion order.
+    """
+    items = list(tasks)
+    total = len(items)
+    if total == 0:
+        return []
+    n_jobs = min(resolve_jobs(jobs), total)
+    gate = _ProgressGate(progress, total, log_every)
+
+    if n_jobs == 1 or not pool_available():
+        out: List[R] = []
+        for task in items:
+            out.append(fn(task))
+            gate.advance()
+        return out
+
+    size = chunksize if chunksize else max(1, -(-total // (n_jobs * 4)))
+    ctx = mp.get_context("fork")
+    results: List[Any] = [None] * total
+    with ProcessPoolExecutor(
+        max_workers=n_jobs,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(tuple(warm or ()),),
+    ) as pool:
+        futures = {}
+        for start in range(0, total, size):
+            chunk = items[start : start + size]
+            futures[pool.submit(_run_chunk, fn, chunk)] = (start, len(chunk))
+        for fut in as_completed(futures):
+            start, n = futures[fut]
+            results[start : start + n] = fut.result()
+            gate.advance(n)
+    return results

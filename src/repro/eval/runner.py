@@ -10,9 +10,9 @@ packets at the builder's 0.5/cycle issue rate, section 4.4).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.baselines.direct import dispatch_raw
 from repro.core.config import MACConfig
@@ -22,6 +22,7 @@ from repro.core.packet import CoalescedRequest
 from repro.core.stats import MACStats
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
+from repro.seeding import DEFAULT_SEED
 from repro.trace.record import TraceRecord, to_requests
 from repro.workloads.registry import make
 
@@ -30,17 +31,117 @@ from repro.workloads.registry import make
 DEFAULT_THREADS = 8
 DEFAULT_OPS_PER_THREAD = 3000
 
+#: Default number of traces kept warm per process.  Full traces are the
+#: largest objects the eval layer holds on to, so the cap is deliberately
+#: small; raise it with :func:`set_trace_cache_limit` for wide sweeps over
+#: many (workload, sizing) combinations.
+DEFAULT_TRACE_CACHE_LIMIT = 32
 
-@lru_cache(maxsize=128)
+
+class TraceCache:
+    """Explicit, clearable LRU cache for generated benchmark traces.
+
+    Unlike the previous ``functools.lru_cache`` wrapper this cache can be
+    emptied mid-session (long sweep sessions no longer pin dozens of full
+    traces for the process lifetime), resized, and warmed up front — each
+    pool worker in :mod:`repro.eval.parallel` carries its own instance
+    (inherited warm through ``fork`` or primed by the pool initializer),
+    so a trace is generated at most once per worker.
+    """
+
+    def __init__(self, maxsize: int = DEFAULT_TRACE_CACHE_LIMIT):
+        if maxsize < 1:
+            raise ValueError("trace cache needs room for at least one trace")
+        self.maxsize = maxsize
+        self._data: "OrderedDict[Tuple, Tuple[TraceRecord, ...]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(
+        self, key: Tuple, factory: Callable[[], Tuple[TraceRecord, ...]]
+    ) -> Tuple[TraceRecord, ...]:
+        """Return the cached value for ``key``, generating it on a miss."""
+        hit = self._data.get(key)
+        if hit is not None:
+            self.hits += 1
+            self._data.move_to_end(key)
+            return hit
+        self.misses += 1
+        value = factory()
+        self._data[key] = value
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def resize(self, maxsize: int) -> None:
+        """Change the capacity, evicting oldest entries if shrinking."""
+        if maxsize < 1:
+            raise ValueError("trace cache needs room for at least one trace")
+        self.maxsize = maxsize
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+
+    def info(self) -> Dict[str, int]:
+        return {
+            "size": len(self._data),
+            "maxsize": self.maxsize,
+            "hits": self.hits,
+            "misses": self.misses,
+        }
+
+
+#: Per-process trace cache (per *worker* under the parallel engine).
+_TRACE_CACHE = TraceCache()
+
+
 def cached_trace(
     name: str,
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
-    seed: int = 2019,
+    seed: int = DEFAULT_SEED,
 ) -> Tuple[TraceRecord, ...]:
     """Deterministic benchmark trace, cached per process."""
-    wl = make(name, seed=seed)
-    return tuple(wl.generate(threads=threads, ops_per_thread=ops_per_thread))
+    key = (name, threads, ops_per_thread, seed)
+    return _TRACE_CACHE.get(
+        key,
+        lambda: tuple(
+            make(name, seed=seed).generate(
+                threads=threads, ops_per_thread=ops_per_thread
+            )
+        ),
+    )
+
+
+def clear_trace_cache() -> None:
+    """Drop every cached trace (long sweep sessions reclaim memory)."""
+    _TRACE_CACHE.clear()
+
+
+def set_trace_cache_limit(maxsize: int) -> None:
+    """Cap how many full traces stay warm in this process."""
+    _TRACE_CACHE.resize(maxsize)
+
+
+def trace_cache_info() -> Dict[str, int]:
+    """Occupancy and hit/miss counters of the per-process trace cache."""
+    return _TRACE_CACHE.info()
+
+
+def warm_trace_cache(specs: Iterable[Tuple[str, int, int, int]]) -> None:
+    """Pre-generate ``(name, threads, ops_per_thread, seed)`` traces.
+
+    Used as the pool-worker initializer by :mod:`repro.eval.parallel`;
+    already-cached specs (e.g. inherited from the parent via fork) cost
+    nothing.
+    """
+    for name, threads, ops_per_thread, seed in specs:
+        cached_trace(name, threads, ops_per_thread, seed)
 
 
 @dataclass
@@ -59,7 +160,7 @@ def dispatch(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
     config: Optional[MACConfig] = None,
-    seed: int = 2019,
+    seed: int = DEFAULT_SEED,
     flit_policy: FlitTablePolicy = FlitTablePolicy.SPAN,
 ) -> DispatchResult:
     """Run one benchmark trace through a dispatch policy.
@@ -74,8 +175,7 @@ def dispatch(
         packets = coalesce_trace_fast(requests, config, flit_policy, stats)
     elif policy == "mac-cycle":
         mac = MAC(config, policy=flit_policy)
-        mac.stats = stats
-        mac.aggregator.stats = stats
+        mac.attach_stats(stats)
         packets = mac.process(requests)
     elif policy == "raw":
         packets = dispatch_raw(requests, config, stats)
@@ -136,7 +236,7 @@ def compare_policies(
     threads: int = DEFAULT_THREADS,
     ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
     config: Optional[MACConfig] = None,
-    seed: int = 2019,
+    seed: int = DEFAULT_SEED,
 ) -> Dict[str, ReplayResult]:
     """Raw vs MAC replay of one benchmark on identical devices."""
     raw = dispatch(name, "raw", threads, ops_per_thread, config, seed)

@@ -8,22 +8,30 @@ back.  Used by the design-space example and handy for ad-hoc studies::
     results = sweep_grid(
         {"arq_entries": [8, 32, 128], "row_bytes": [256, 1024]},
         workloads=("MG", "IS"),
+        jobs=4,            # process-pool execution, bit-identical to jobs=1
     )
     print(format_sweep(results))
+
+With ``jobs > 1`` the grid cells run on a process pool
+(:mod:`repro.eval.parallel`); results are returned in grid order and are
+element-for-element identical to the serial run — every cell is seeded
+explicitly and generates its trace independently of scheduling.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MACConfig
 from repro.core.flit_table import FlitTablePolicy
 from repro.core.mac import coalesce_trace_fast
 from repro.core.stats import MACStats
+from repro.seeding import DEFAULT_SEED
 from repro.trace.record import to_requests
 
+from .parallel import ProgressFn, run_tasks
 from .report import format_table
 from .runner import cached_trace
 
@@ -45,6 +53,37 @@ class SweepPoint:
         return dict(self.params)[name]
 
 
+@dataclasses.dataclass(frozen=True)
+class _SweepTask:
+    """Picklable descriptor of one grid cell x workload evaluation."""
+
+    params: Tuple[Tuple[str, Any], ...]
+    config_kwargs: Tuple[Tuple[str, Any], ...]
+    workload: str
+    threads: int
+    ops_per_thread: int
+    seed: int
+    policy: str
+
+
+def _run_sweep_task(task: _SweepTask) -> SweepPoint:
+    """Evaluate one grid cell (runs in-process or in a pool worker)."""
+    cfg = MACConfig(**dict(task.config_kwargs))
+    trace = cached_trace(task.workload, task.threads, task.ops_per_thread, task.seed)
+    stats = MACStats()
+    coalesce_trace_fast(
+        list(to_requests(trace)), cfg, FlitTablePolicy(task.policy), stats
+    )
+    return SweepPoint(
+        params=task.params,
+        workload=task.workload,
+        efficiency=stats.coalescing_efficiency,
+        packets=stats.coalesced_packets,
+        bandwidth_efficiency=stats.coalesced_bandwidth_efficiency,
+        avg_targets=stats.avg_targets_per_packet,
+    )
+
+
 def sweep_grid(
     axes: Dict[str, Sequence[Any]],
     workloads: Sequence[str] = ("SG",),
@@ -52,9 +91,18 @@ def sweep_grid(
     ops_per_thread: int = 1000,
     base: Optional[MACConfig] = None,
     policy: FlitTablePolicy = FlitTablePolicy.SPAN,
-    seed: int = 2019,
+    seed: int = DEFAULT_SEED,
+    jobs: int = 1,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
 ) -> List[SweepPoint]:
-    """Run the full cartesian grid; returns one SweepPoint per cell."""
+    """Run the full cartesian grid; returns one SweepPoint per cell.
+
+    ``jobs`` > 1 distributes cells over a process pool; the returned list
+    is bit-identical (same order, same values) to the serial run.
+    ``progress(done, total)`` is invoked every ``log_every`` completed
+    cells when given.
+    """
     if not axes:
         raise ValueError("need at least one sweep axis")
     unknown = set(axes) - _VALID_FIELDS
@@ -66,31 +114,41 @@ def sweep_grid(
         else {}
     )
     names = list(axes)
-    out: List[SweepPoint] = []
+    tasks: List[_SweepTask] = []
     for combo in itertools.product(*(axes[n] for n in names)):
         kwargs = dict(base_kwargs)
         kwargs.update(dict(zip(names, combo)))
-        # Keep dependent fields consistent when only the row size moves.
+        # Dependent-field coupling: when only the row size moves, shrink
+        # max_request_bytes just enough to stay valid (requests may not
+        # exceed one row).  An explicitly smaller base value — e.g.
+        # ``base=MACConfig(max_request_bytes=64)`` under a 1024 B row —
+        # is a deliberate design point and is preserved.
         if "row_bytes" in kwargs and "max_request_bytes" not in axes:
-            kwargs["max_request_bytes"] = min(
-                kwargs.get("max_request_bytes", 256), kwargs["row_bytes"]
-            ) if kwargs["row_bytes"] < 256 else kwargs["row_bytes"]
-        cfg = MACConfig(**kwargs)
+            current = kwargs.get("max_request_bytes", 256)
+            if current > kwargs["row_bytes"]:
+                kwargs["max_request_bytes"] = kwargs["row_bytes"]
+        MACConfig(**kwargs)  # validate once, in the parent, fail fast
         for name in workloads:
-            trace = cached_trace(name, threads, ops_per_thread, seed)
-            stats = MACStats()
-            coalesce_trace_fast(list(to_requests(trace)), cfg, policy, stats)
-            out.append(
-                SweepPoint(
+            tasks.append(
+                _SweepTask(
                     params=tuple(zip(names, combo)),
+                    config_kwargs=tuple(sorted(kwargs.items())),
                     workload=name,
-                    efficiency=stats.coalescing_efficiency,
-                    packets=stats.coalesced_packets,
-                    bandwidth_efficiency=stats.coalesced_bandwidth_efficiency,
-                    avg_targets=stats.avg_targets_per_packet,
+                    threads=threads,
+                    ops_per_thread=ops_per_thread,
+                    seed=seed,
+                    policy=policy.value,
                 )
             )
-    return out
+    warm = sorted({(t.workload, t.threads, t.ops_per_thread, t.seed) for t in tasks})
+    return run_tasks(
+        _run_sweep_task,
+        tasks,
+        jobs=jobs,
+        progress=progress,
+        log_every=log_every,
+        warm=warm,
+    )
 
 
 def format_sweep(points: Sequence[SweepPoint]) -> str:
@@ -107,16 +165,40 @@ def format_sweep(points: Sequence[SweepPoint]) -> str:
     return format_table(headers, rows, title="MAC design-space sweep")
 
 
+#: Optimization direction per SweepPoint metric: ``True`` = larger is
+#: better (efficiencies, targets merged per packet), ``False`` = smaller
+#: is better (packets — fewer emitted packets means more coalescing).
+METRIC_MAXIMIZE: Dict[str, bool] = {
+    "efficiency": True,
+    "bandwidth_efficiency": True,
+    "avg_targets": True,
+    "packets": False,
+}
+
+
 def best_point(
     points: Sequence[SweepPoint], metric: str = "efficiency"
 ) -> SweepPoint:
-    """Grid cell with the best suite-average of ``metric``."""
+    """Grid cell with the best suite-average of ``metric``.
+
+    Direction-aware: ``efficiency``, ``bandwidth_efficiency`` and
+    ``avg_targets`` are maximized; ``packets`` is *minimized* (packets is
+    a lower-is-better metric — fewer emitted packets for the same raw
+    requests means better coalescing).  See :data:`METRIC_MAXIMIZE`.
+    """
     if not points:
         raise ValueError("empty sweep")
+    if metric not in METRIC_MAXIMIZE:
+        raise ValueError(
+            f"unknown metric {metric!r}; choose from {sorted(METRIC_MAXIMIZE)}"
+        )
     by_params: Dict[Tuple, List[SweepPoint]] = {}
     for p in points:
         by_params.setdefault(p.params, []).append(p)
+
     def score(items: List[SweepPoint]) -> float:
         return sum(getattr(p, metric) for p in items) / len(items)
-    best = max(by_params.values(), key=score)
+
+    choose: Callable = max if METRIC_MAXIMIZE[metric] else min
+    best = choose(by_params.values(), key=score)
     return best[0]

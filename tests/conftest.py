@@ -1,0 +1,29 @@
+"""Shared test-suite options.
+
+``--jobs N`` sets the worker count used by the parallel-path smoke tests
+(marked ``parallel``); CI runs that subset with ``--jobs 2`` on every
+supported Python version so the process-pool code is exercised beyond
+the in-process fallback.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser) -> None:
+    # Shared knob with benchmarks/conftest.py; tolerate double
+    # registration when both conftests load in one invocation.
+    try:
+        parser.addoption(
+            "--jobs",
+            type=int,
+            default=2,
+            help="worker processes for parallel-path smoke tests",
+        )
+    except ValueError:
+        pass
+
+
+@pytest.fixture
+def smoke_jobs(request) -> int:
+    """Worker count for the parallel smoke tests (--jobs, default 2)."""
+    return int(request.config.getoption("--jobs"))

@@ -1,0 +1,129 @@
+"""Tests for the deterministic process-pool executor (repro.eval.parallel)."""
+
+import io
+
+import pytest
+
+from repro.eval.parallel import (
+    _ProgressGate,
+    pool_available,
+    print_progress,
+    resolve_jobs,
+    run_tasks,
+)
+from repro.eval.sweeps import sweep_grid
+
+needs_pool = pytest.mark.skipif(
+    not pool_available(), reason="platform lacks the fork start method"
+)
+
+
+def _square(x):
+    return x * x
+
+
+def _describe(task):
+    # Mixed-type result; exercises result pickling beyond plain ints.
+    name, value = task
+    return {"name": name, "value": value, "tag": f"{name}:{value}"}
+
+
+def test_resolve_jobs_semantics():
+    assert resolve_jobs(None) == 1
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(3) == 3
+    assert resolve_jobs(0) >= 1
+    assert resolve_jobs(-1) >= 1
+
+
+def test_run_tasks_empty():
+    assert run_tasks(_square, []) == []
+    assert run_tasks(_square, [], jobs=4) == []
+
+
+def test_run_tasks_serial_preserves_order():
+    assert run_tasks(_square, range(10)) == [x * x for x in range(10)]
+
+
+@pytest.mark.parallel
+@needs_pool
+def test_run_tasks_pool_matches_serial(smoke_jobs):
+    tasks = list(range(23))  # deliberately not a multiple of any chunk size
+    serial = run_tasks(_square, tasks, jobs=1)
+    pooled = run_tasks(_square, tasks, jobs=smoke_jobs)
+    assert pooled == serial
+
+
+@pytest.mark.parallel
+@needs_pool
+def test_run_tasks_pool_structured_results(smoke_jobs):
+    tasks = [("w", i) for i in range(9)]
+    serial = run_tasks(_describe, tasks, jobs=1)
+    pooled = run_tasks(_describe, tasks, jobs=smoke_jobs, chunksize=2)
+    assert pooled == serial
+
+
+@pytest.mark.parallel
+@needs_pool
+def test_jobs_exceeding_tasks_is_fine(smoke_jobs):
+    # More workers than tasks must not hang or drop results.
+    assert run_tasks(_square, [3, 4], jobs=max(smoke_jobs, 8)) == [9, 16]
+
+
+def test_progress_gate_log_every():
+    seen = []
+    gate = _ProgressGate(lambda done, total: seen.append((done, total)), 10, 3)
+    for _ in range(10):
+        gate.advance()
+    # Fires when crossing each multiple of 3 and at the final completion.
+    assert seen == [(3, 10), (6, 10), (9, 10), (10, 10)]
+
+
+def test_progress_gate_chunked_advance():
+    seen = []
+    gate = _ProgressGate(lambda done, total: seen.append(done), 12, 5)
+    gate.advance(4)  # below first threshold
+    gate.advance(4)  # crosses 5
+    gate.advance(4)  # crosses 10 and completes
+    assert seen == [8, 12]
+
+
+def test_run_tasks_serial_progress():
+    seen = []
+    run_tasks(_square, range(6), progress=lambda d, t: seen.append((d, t)), log_every=2)
+    assert seen == [(2, 6), (4, 6), (6, 6)]
+
+
+def test_print_progress_format():
+    buf = io.StringIO()
+    report = print_progress(prefix="fig10: ", stream=buf)
+    report(4, 27)
+    assert buf.getvalue() == "fig10: 4/27\n"
+
+
+# Acceptance criterion: a pooled sweep is bit-identical to the serial one.
+_AXES = {"arq_entries": [8, 32], "row_bytes": [256, 512]}
+
+
+@pytest.mark.parallel
+@needs_pool
+def test_sweep_grid_jobs4_bit_identical_to_serial():
+    serial = sweep_grid(_AXES, threads=2, ops_per_thread=200, jobs=1)
+    pooled = sweep_grid(_AXES, threads=2, ops_per_thread=200, jobs=4)
+    assert len(serial) == len(pooled) == 4
+    for a, b in zip(serial, pooled):
+        assert a == b  # frozen dataclasses: exact field-for-field equality
+
+
+@pytest.mark.parallel
+@needs_pool
+def test_sweep_grid_progress_reports_total(smoke_jobs):
+    seen = []
+    sweep_grid(
+        {"arq_entries": [8, 32]},
+        threads=2,
+        ops_per_thread=100,
+        jobs=smoke_jobs,
+        progress=lambda d, t: seen.append((d, t)),
+    )
+    assert seen and seen[-1] == (2, 2)

@@ -1,6 +1,11 @@
 """Config/stats serialization tests."""
 
+import dataclasses
+import json
+
 import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
 
 from repro.core.config import MACConfig, SystemConfig
 from repro.core.mac import coalesce_trace_fast
@@ -8,6 +13,7 @@ from repro.core.request import MemoryRequest, RequestType
 from repro.core.stats import MACStats
 from repro.ddr.device import DDRConfig
 from repro.eval.serialize import (
+    CONFIG_TYPES,
     config_from_dict,
     config_to_dict,
     load_config,
@@ -59,6 +65,61 @@ class TestConfigRoundtrip:
         data["arq_entries"] = 0
         with pytest.raises(ValueError):
             config_from_dict(data)
+
+
+def _scalar_strategy(value):
+    """Perturbations of one default field value, mostly staying valid."""
+    if isinstance(value, bool):
+        return st.booleans()
+    if isinstance(value, int):
+        return st.sampled_from(sorted({value, max(1, value // 2), value * 2}))
+    if isinstance(value, float):
+        return st.sampled_from(sorted({value, value / 2, value * 2}))
+    return st.just(value)
+
+
+@st.composite
+def _config_instances(draw, cls=None):
+    """A randomly perturbed instance of any registered config type.
+
+    Nested registered configs (``SystemConfig.mac``, ``HMCConfig.timing``
+    and friends) recurse, so the round-trip property also covers the
+    tagged-dict nesting path.
+    """
+    if cls is None:
+        cls = draw(st.sampled_from(sorted(CONFIG_TYPES.values(), key=lambda c: c.__name__)))
+    default = cls()
+    kwargs = {}
+    for f in dataclasses.fields(default):
+        value = getattr(default, f.name)
+        if type(value).__name__ in CONFIG_TYPES:
+            kwargs[f.name] = draw(_config_instances(cls=type(value)))
+        else:
+            kwargs[f.name] = draw(_scalar_strategy(value))
+    try:
+        return cls(**kwargs)
+    except ValueError:
+        # Cross-field validation (e.g. max_request_bytes > row_bytes)
+        # rejected this combination; discard the example.
+        assume(False)
+
+
+class TestRoundtripProperty:
+    @settings(max_examples=60, deadline=None)
+    @given(cfg=_config_instances())
+    def test_dict_roundtrip_all_registered_types(self, cfg):
+        data = config_to_dict(cfg)
+        assert data["__type__"] == type(cfg).__name__
+        assert config_from_dict(data) == cfg
+
+    @settings(max_examples=30, deadline=None)
+    @given(cfg=_config_instances(cls=SystemConfig))
+    def test_json_roundtrip_nested(self, cfg):
+        # SystemConfig nests a MACConfig; the tagged dict must survive an
+        # actual JSON encode/decode, not just the dict transform.
+        back = config_from_dict(json.loads(json.dumps(config_to_dict(cfg))))
+        assert back == cfg
+        assert back.mac == cfg.mac
 
 
 class TestStatsExport:

@@ -3,7 +3,24 @@
 import pytest
 
 from repro.core.config import MACConfig
-from repro.eval.sweeps import best_point, format_sweep, sweep_grid
+from repro.eval.sweeps import (
+    METRIC_MAXIMIZE,
+    SweepPoint,
+    best_point,
+    format_sweep,
+    sweep_grid,
+)
+
+
+def _point(params, workload="SG", efficiency=0.5, packets=100, bw=0.5, tgt=2.0):
+    return SweepPoint(
+        params=params,
+        workload=workload,
+        efficiency=efficiency,
+        packets=packets,
+        bandwidth_efficiency=bw,
+        avg_targets=tgt,
+    )
 
 
 class TestSweepGrid:
@@ -31,6 +48,39 @@ class TestSweepGrid:
     def test_row_bytes_axis_adjusts_max_request(self):
         pts = sweep_grid({"row_bytes": [256, 1024]}, workloads=("SG",), ops_per_thread=300)
         assert len(pts) == 2  # no validation error from max > row
+
+    @staticmethod
+    def _cell_configs(monkeypatch, **kwargs):
+        """Run a sweep, capturing each cell's resolved MACConfig kwargs."""
+        import repro.eval.sweeps as sweeps_mod
+
+        seen = []
+        original = sweeps_mod._run_sweep_task
+
+        def capture(task):
+            seen.append(dict(task.config_kwargs))
+            return original(task)
+
+        monkeypatch.setattr(sweeps_mod, "_run_sweep_task", capture)
+        sweep_grid(workloads=("SG",), ops_per_thread=200, **kwargs)
+        return seen
+
+    def test_small_row_clamps_default_max_request(self, monkeypatch):
+        # Default max_request_bytes (256) exceeds a 128 B row; the sweep
+        # shrinks it just enough to keep the config valid.
+        configs = self._cell_configs(monkeypatch, axes={"row_bytes": [128]})
+        assert configs[0]["max_request_bytes"] == 128
+
+    def test_explicit_small_max_request_preserved(self, monkeypatch):
+        # Regression: the row-coupling used to clobber a deliberately
+        # small base max_request_bytes with the (larger) row size.
+        configs = self._cell_configs(
+            monkeypatch,
+            axes={"row_bytes": [1024]},
+            base=MACConfig(max_request_bytes=64),
+        )
+        assert configs[0]["max_request_bytes"] == 64
+        assert configs[0]["row_bytes"] == 1024
 
     def test_unknown_field_rejected(self):
         with pytest.raises(ValueError):
@@ -67,3 +117,31 @@ class TestReporting:
     def test_best_point_empty_rejected(self):
         with pytest.raises(ValueError):
             best_point([])
+
+    def test_best_point_packets_minimizes(self):
+        # Regression: ``packets`` is lower-is-better (fewer packets =
+        # more coalescing); best_point used to always take max and
+        # return the *worst* cell.
+        pts = [
+            _point((("arq_entries", 8),), packets=900),
+            _point((("arq_entries", 64),), packets=300),
+            _point((("arq_entries", 32),), packets=600),
+        ]
+        assert best_point(pts, metric="packets").param("arq_entries") == 64
+
+    def test_best_point_efficiency_maximizes(self):
+        pts = [
+            _point((("arq_entries", 8),), efficiency=0.2),
+            _point((("arq_entries", 64),), efficiency=0.8),
+        ]
+        assert best_point(pts, metric="efficiency").param("arq_entries") == 64
+
+    def test_best_point_unknown_metric_rejected(self):
+        with pytest.raises(ValueError):
+            best_point([_point((("arq_entries", 8),))], metric="workload")
+
+    def test_metric_direction_map_covers_sweep_metrics(self):
+        assert METRIC_MAXIMIZE["packets"] is False
+        assert METRIC_MAXIMIZE["efficiency"] is True
+        assert METRIC_MAXIMIZE["bandwidth_efficiency"] is True
+        assert METRIC_MAXIMIZE["avg_targets"] is True
