@@ -1,0 +1,80 @@
+"""Observability overhead — tracer-off vs tracer-on wall time.
+
+Runs one benchmark trace through the cycle engine + device replay twice:
+once with the default :data:`NULL_TRACER` (the shipping configuration —
+every emit site is gated behind a single ``enabled`` attribute check)
+and once with a live :class:`EventTracer`.  Both wall times and their
+ratio land in the benchmark JSON (``extra_info``), so the cost of the
+instrumentation is tracked across runs; the disabled path is expected to
+stay within noise of the pre-instrumentation engine.
+
+The result streams are also cross-checked for equality — the deep
+bit-identical regression lives in ``tests/obs/test_noop_identical.py``;
+here it guards the measurement itself (a tracer that changed the
+simulation would make the timing comparison meaningless).
+"""
+
+import time
+
+import pytest
+
+from repro.eval.runner import cached_trace, dispatch, replay_on_device
+from repro.obs import NULL_TRACER, EventTracer
+
+from conftest import attach, run_figure
+
+pytestmark = pytest.mark.obs
+
+WORKLOAD = "SG"
+THREADS = 4
+OPS_PER_THREAD = 2000
+ROUNDS = 3
+
+
+def _run(tracer):
+    disp = dispatch(
+        WORKLOAD, "mac-cycle", threads=THREADS, ops_per_thread=OPS_PER_THREAD,
+        tracer=tracer,
+    )
+    replay = replay_on_device(disp.packets, tracer=tracer)
+    return disp, replay
+
+
+def _time(tracer) -> tuple:
+    best = float("inf")
+    result = None
+    for _ in range(ROUNDS):
+        t0 = time.perf_counter()
+        result = _run(tracer)
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_obs_overhead(benchmark):
+    def measure():
+        cached_trace(WORKLOAD, THREADS, OPS_PER_THREAD)  # warm: time engines only
+        t_off, off = _time(NULL_TRACER)
+        tracer = EventTracer(capacity=1 << 20)
+        t_on, on = _time(tracer)
+        return t_off, t_on, off, on, tracer
+
+    t_off, t_on, off, on, tracer = run_figure(
+        benchmark, measure, "observability overhead (tracer off vs on)"
+    )
+    (off_disp, off_replay), (on_disp, on_replay) = off, on
+    assert on_disp.packets == off_disp.packets
+    assert on_disp.stats.snapshot() == off_disp.stats.snapshot()
+    assert len(tracer) > 0
+
+    attach(
+        benchmark,
+        tracer_off_s=t_off,
+        tracer_on_s=t_on,
+        overhead_ratio=t_on / t_off if t_off else 0.0,
+        events_recorded=len(tracer),
+        events_dropped=tracer.dropped,
+    )
+    print(
+        f"\nobs overhead: off {t_off * 1e3:.1f} ms, on {t_on * 1e3:.1f} ms "
+        f"(x{t_on / t_off:.3f}), {len(tracer)} events"
+    )

@@ -13,9 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List
 
+from ..obs.protocol import StatsMixin
+
 
 @dataclass
-class CacheStats:
+class CacheStats(StatsMixin):
+    SNAPSHOT_DERIVED = ("miss_rate", "hit_rate")
+
     accesses: int = 0
     hits: int = 0
     misses: int = 0

@@ -16,12 +16,15 @@ from typing import Iterable, List
 
 from repro.trace.record import TraceRecord
 from repro.core.request import RequestType
+from repro.obs.protocol import StatsMixin
 
 from .cache import SetAssociativeCache
 
 
 @dataclass
-class HierarchyStats:
+class HierarchyStats(StatsMixin):
+    SNAPSHOT_DERIVED = ("miss_rate", "l1_miss_rate")
+
     accesses: int = 0
     l1_misses: int = 0
     llc_misses: int = 0

@@ -15,6 +15,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List
 
 from repro.core.request import MemoryRequest
+from repro.obs.protocol import StatsMixin
 
 
 @dataclass
@@ -28,7 +29,7 @@ class MSHREntry:
 
 
 @dataclass
-class MSHRStats:
+class MSHRStats(StatsMixin):
     misses: int = 0
     allocations: int = 0
     merges: int = 0

@@ -6,6 +6,10 @@ Commands:
 * ``coalesce`` — run a trace through the MAC and print statistics;
 * ``replay``   — replay a trace on a device (hmc / hbm / ddr), with or
   without coalescing, and print the timing outcome;
+* ``run``      — run one benchmark through the cycle engine + device
+  replay with observability: ``--trace-out`` writes a cycle-stamped
+  event trace (Chrome/Perfetto JSON, or JSONL for ``.jsonl`` paths) and
+  ``--metrics-out`` the flat namespaced metrics dict;
 * ``figures``  — regenerate the paper's figures (fast or full scale);
 * ``info``     — print the Table 1 configuration and area report.
 """
@@ -196,6 +200,65 @@ def cmd_replay(args) -> int:
     return 0
 
 
+def cmd_run(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.eval.runner import dispatch, replay_on_device
+    from repro.obs import NULL_TRACER, EventTracer
+
+    tracer = (
+        EventTracer(capacity=args.trace_capacity) if args.trace_out else NULL_TRACER
+    )
+    disp = dispatch(
+        args.benchmark,
+        "mac-cycle",
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        config=_mac_config(args),
+        seed=_effective_seed(args),
+        flit_policy=FlitTablePolicy(args.policy),
+        tracer=tracer,
+    )
+    replay = replay_on_device(disp.packets, tracer=tracer)
+    metrics = {**disp.metrics(), **replay.metrics()}
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["raw requests", disp.stats.memory_raw_requests],
+                ["packets", disp.stats.coalesced_packets],
+                ["coalescing efficiency", pct(disp.stats.coalescing_efficiency)],
+                ["bank conflicts", replay.bank_conflicts],
+                ["mean latency (cycles)", round(replay.mean_latency, 1)],
+                ["makespan (cycles)", replay.makespan],
+                ["wire traffic", human_bytes(replay.wire_bytes)],
+            ],
+            title=f"{args.benchmark} via cycle engine (ARQ={args.arq})",
+        )
+    )
+    if args.trace_out:
+        if str(args.trace_out).endswith(".jsonl"):
+            n = tracer.write_jsonl(args.trace_out)
+        else:
+            n = tracer.write_chrome_trace(args.trace_out)
+        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+        print(f"wrote {n} trace events to {args.trace_out}{dropped}")
+    if args.metrics_out:
+        import math
+
+        # Undefined ratios (nan) become null: the file stays strict JSON.
+        clean = {
+            k: (None if isinstance(v, float) and math.isnan(v) else v)
+            for k, v in metrics.items()
+        }
+        Path(args.metrics_out).write_text(
+            json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str)
+        )
+        print(f"wrote {len(clean)} metrics to {args.metrics_out}")
+    return 0
+
+
 def cmd_figures(args) -> int:
     from repro.eval import experiments as E
     from repro.eval.parallel import print_progress, resolve_jobs
@@ -312,6 +375,34 @@ def build_parser() -> argparse.ArgumentParser:
         help="injector seed (default: derived from --seed)",
     )
     p.set_defaults(func=cmd_replay)
+
+    p = sub.add_parser(
+        "run", help="run one benchmark with observability (trace/metrics export)"
+    )
+    p.add_argument("benchmark", help="benchmark name (see `repro info`)")
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--ops", type=int, default=3000, help="ops per thread")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    _add_mac_args(p)
+    obs = p.add_argument_group("observability")
+    obs.add_argument(
+        "--trace-out",
+        default=None,
+        help="write cycle-stamped events here (.jsonl = JSONL, else "
+        "Chrome-trace JSON loadable in Perfetto)",
+    )
+    obs.add_argument(
+        "--metrics-out",
+        default=None,
+        help="write the flat namespaced metrics dict as JSON",
+    )
+    obs.add_argument(
+        "--trace-capacity",
+        type=int,
+        default=65536,
+        help="event ring-buffer size (oldest events drop beyond it)",
+    )
+    p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("figures", help="regenerate paper figures (summary)")
     p.add_argument("--fast", action="store_true")

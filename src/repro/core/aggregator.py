@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.tracer import NULL_TRACER
 from .address import AddressCodec
 from .arq import AggregatedRequestQueue
 from .builder import RequestBuilder, bypass_packet
@@ -31,10 +32,12 @@ class RawRequestAggregator:
         codec: Optional[AddressCodec] = None,
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         stats: Optional[MACStats] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config
         self.codec = codec or AddressCodec(config)
-        self.arq = AggregatedRequestQueue(config, self.codec)
+        self.tracer = tracer
+        self.arq = AggregatedRequestQueue(config, self.codec, tracer=tracer)
         self.builder = RequestBuilder(config, self.codec, policy)
         self.stats = stats if stats is not None else MACStats()
         self._cycle = 0
@@ -78,19 +81,38 @@ class RawRequestAggregator:
         if cycle >= self._next_pop and not self.arq.empty:
             head = self.arq.peek()
             assert head is not None
+            tr = self.tracer
             if head.fence:
                 self.arq.pop()  # fences retire without a memory packet
                 self._next_pop = cycle + self.config.pop_interval
+                if tr.enabled:
+                    tr.emit("arq", "pop", cycle, kind="fence")
             elif head.bypass:
                 entry = self.arq.pop()
                 assert entry is not None
                 out.append(bypass_packet(entry, self.codec, self.config, cycle))
                 self._next_pop = cycle + self.config.pop_interval
+                if tr.enabled:
+                    tr.emit(
+                        "arq", "pop", cycle, kind="bypass",
+                        residency=cycle - entry.alloc_cycle,
+                    )
             elif self.builder.can_accept():
                 entry = self.arq.pop()
                 assert entry is not None
                 self.builder.accept(entry)
                 self._next_pop = cycle + self.config.pop_interval
+                if tr.enabled:
+                    tr.emit(
+                        "arq", "pop", cycle, kind="build",
+                        targets=entry.target_count,
+                        residency=cycle - entry.alloc_cycle,
+                    )
+                    tr.emit(
+                        "builder", "occupancy", cycle,
+                        stage1=self.builder.stage1_busy,
+                        stage2=self.builder.stage2_busy,
+                    )
             # else: builder back-pressure; retry next cycle.
 
         # Intake: one request per cycle.

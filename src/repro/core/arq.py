@@ -19,6 +19,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
+from ..obs.tracer import NULL_TRACER
 from .address import AddressCodec
 from .config import MACConfig
 from .flit import FlitMap
@@ -63,15 +64,25 @@ class AggregatedRequestQueue:
     cadence lives in :class:`repro.core.aggregator.RawRequestAggregator`.
     """
 
-    def __init__(self, config: MACConfig, codec: Optional[AddressCodec] = None):
+    def __init__(
+        self, config: MACConfig, codec: Optional[AddressCodec] = None, tracer=NULL_TRACER
+    ):
         self.config = config
         self.codec = codec or AddressCodec(config)
+        self.tracer = tracer
         self._entries: Deque[ARQEntry] = deque()
         # Row-key index for O(1) comparator emulation.  Hardware compares
         # all entries in parallel; a dict gives identical semantics.  Only
         # mergeable entries (comparators enabled, not full, not bypassed)
         # are indexed.
         self._index: Dict[int, ARQEntry] = {}
+        # Entries allocated *before* the youngest pending fence.  A fence
+        # demotes the whole live index here: merging into a pre-fence
+        # entry would reorder across the fence, so a key hit on this side
+        # counts as ``fence_blocked_merges`` instead.  Requests arriving
+        # after the fence form a new epoch in ``_index`` and may merge
+        # among themselves — exactly what the window engine does.
+        self._fenced_index: Dict[int, ARQEntry] = {}
         # Comparators disabled while a fence is pending (section 4.1).
         self._fence_pending = 0
         # Latency-hiding bypass (section 4.1) is edge-triggered: when the
@@ -141,25 +152,40 @@ class AggregatedRequestQueue:
             if self._bypass_budget > 0:
                 self._bypass_budget -= 1
                 self.bypass_fills += 1
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "arq", "bypass_fill", cycle, key=key, free=self.free_entries
+                    )
                 return self._allocate(request, key, cycle)
 
-        if self.comparators_enabled:
-            hit = self._index.get(key)
-            if hit is not None:
-                self._merge(hit, request)
-                return True
-        elif key in self._index:
+        # Only same-epoch entries (allocated since the youngest fence) are
+        # mergeable; a key hit on the pre-fence side is exactly the merge
+        # the fence forbids.
+        hit = self._index.get(key)
+        if hit is not None:
+            self._merge(hit, request, cycle)
+            return True
+        if self._fence_pending and key in self._fenced_index:
             self.fence_blocked_merges += 1
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "arq", "fence_blocked", cycle, key=key,
+                    pending_fences=self._fence_pending,
+                )
 
         return self._allocate(request, key, cycle)
 
-    def _merge(self, entry: ARQEntry, request: MemoryRequest) -> None:
+    def _merge(self, entry: ARQEntry, request: MemoryRequest, cycle: int = 0) -> None:
         flit = self.codec.flit_id(request.addr)
         entry.flit_map.set(flit)
         entry.targets.append(Target(request.tid, request.tag, flit))
         entry.requests.append(request)
         entry.bypass = False  # >1 targets: goes through the builder
         self.merges += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "arq", "merge", cycle, key=entry.key, targets=entry.target_count
+            )
         if entry.target_count >= self.config.target_capacity:
             # Entry full: stop indexing it so further requests allocate anew.
             self._unindex(entry)
@@ -184,6 +210,10 @@ class AggregatedRequestQueue:
         # matching hardware priority encoders that favour the youngest hit.
         self._index[key] = entry
         self.allocations += 1
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "arq", "alloc", cycle, key=key, occupancy=len(self._entries)
+            )
         return True
 
     def _push_fence(self, request: MemoryRequest, cycle: int) -> bool:
@@ -199,6 +229,14 @@ class AggregatedRequestQueue:
         )
         self._entries.append(entry)
         self._fence_pending += 1
+        # Start a new merge epoch: everything live moves to the blocked
+        # side of the fence.
+        self._fenced_index.update(self._index)
+        self._index.clear()
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "arq", "fence", cycle, pending_fences=self._fence_pending
+            )
         return True
 
     def _push_atomic(self, request: MemoryRequest, cycle: int) -> bool:
@@ -233,6 +271,11 @@ class AggregatedRequestQueue:
         entry = self._entries.popleft()
         if entry.fence:
             self._fence_pending -= 1
+            assert self._fence_pending >= 0, "fence counter underflow"
+            if self._fence_pending == 0:
+                # Last fence drained; any leftover demoted keys are stale
+                # (their entries popped before the fence, FIFO order).
+                self._fenced_index.clear()
         else:
             self._unindex(entry)
         return entry
@@ -243,6 +286,8 @@ class AggregatedRequestQueue:
     def _unindex(self, entry: ARQEntry) -> None:
         if self._index.get(entry.key) is entry:
             del self._index[entry.key]
+        if self._fenced_index.get(entry.key) is entry:
+            del self._fenced_index[entry.key]
 
     # -- introspection ------------------------------------------------------
 

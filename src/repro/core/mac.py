@@ -17,6 +17,8 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
+from ..obs.metrics import MetricsRegistry
+from ..obs.tracer import NULL_TRACER
 from .address import AddressCodec
 from .aggregator import RawRequestAggregator
 from .arq import ARQEntry
@@ -53,14 +55,16 @@ class MAC:
         home_fn: Optional[Callable[[int], int]] = None,
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         queue_capacity: int = 64,
+        tracer=NULL_TRACER,
     ) -> None:
         self.config = config or MACConfig()
         self.codec = AddressCodec(self.config)
         self.stats = MACStats()
+        self.tracer = tracer
         self.request_router = RequestRouter(node_id, home_fn, queue_capacity)
         self.response_router = ResponseRouter(node_id)
         self.aggregator = RawRequestAggregator(
-            self.config, self.codec, policy, self.stats
+            self.config, self.codec, policy, self.stats, tracer=tracer
         )
 
     # -- stats wiring -------------------------------------------------------
@@ -78,6 +82,22 @@ class MAC:
         """
         self.stats = stats
         self.aggregator.stats = stats
+
+    def metrics(self) -> dict:
+        """Flat namespaced metrics over the MAC's own stats sources."""
+        reg = MetricsRegistry()
+        reg.register("mac", self.stats)
+        reg.register("router", self.request_router.stats)
+        reg.register(
+            "arq",
+            lambda: {
+                "merges": self.aggregator.arq.merges,
+                "allocations": self.aggregator.arq.allocations,
+                "fence_blocked_merges": self.aggregator.arq.fence_blocked_merges,
+                "bypass_fills": self.aggregator.arq.bypass_fills,
+            },
+        )
+        return reg.collect()
 
     # -- input ------------------------------------------------------------
 

@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from ..obs.protocol import StatsMixin
 from .packet import CoalescedResponse
 from .request import MemoryRequest, Target
 
@@ -72,7 +73,7 @@ class FIFOQueue:
 
 
 @dataclass
-class RouterStats:
+class RouterStats(StatsMixin):
     local: int = 0
     outbound_remote: int = 0
     inbound_remote: int = 0

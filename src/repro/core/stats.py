@@ -2,14 +2,16 @@
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..obs.protocol import StatsMixin
 from .packet import CONTROL_BYTES_PER_ACCESS, CoalescedRequest
 
 
 @dataclass(slots=True)
-class MACStats:
+class MACStats(StatsMixin):
     """Counters accumulated while requests flow through the MAC.
 
     These feed every evaluation metric of section 5.3: coalescing
@@ -17,6 +19,13 @@ class MACStats:
     device stats), bandwidth efficiency/saving (Figs. 13/14) and targets
     per entry (Fig. 15).
     """
+
+    MERGE_MAX = frozenset({"total_cycles"})
+    SNAPSHOT_DERIVED = (
+        "coalescing_efficiency",
+        "avg_targets_per_packet",
+        "coalesced_bandwidth_efficiency",
+    )
 
     raw_requests: int = 0
     raw_loads: int = 0
@@ -70,10 +79,12 @@ class MACStats:
         """Fraction of raw requests eliminated by coalescing (Eq. 3).
 
         See DESIGN.md section 3 on the reduction-fraction reading of the
-        paper's Eq. 3.
+        paper's Eq. 3.  A fence-only/atomic-only stream that still emitted
+        packets has no defined efficiency — ``nan``, never ``0.0``, so a
+        sweep cannot rank the empty cell as a valid best point.
         """
         if self.memory_raw_requests == 0:
-            return 0.0
+            return math.nan if self.coalesced_packets else 0.0
         return 1.0 - self.coalesced_packets / self.memory_raw_requests
 
     @property
@@ -124,19 +135,5 @@ class MACStats:
         """
         return self.raw_wire_bytes(flit_bytes) - self.coalesced_wire_bytes
 
-    def merge(self, other: "MACStats") -> None:
-        """Accumulate another stats object into this one."""
-        self.raw_requests += other.raw_requests
-        self.raw_loads += other.raw_loads
-        self.raw_stores += other.raw_stores
-        self.raw_fences += other.raw_fences
-        self.raw_atomics += other.raw_atomics
-        self.coalesced_packets += other.coalesced_packets
-        self.bypassed_packets += other.bypassed_packets
-        self.merged_requests += other.merged_requests
-        for size, n in other.packet_sizes.items():
-            self.packet_sizes[size] = self.packet_sizes.get(size, 0) + n
-        self.targets_per_packet.extend(other.targets_per_packet)
-        self.payload_bytes += other.payload_bytes
-        self.stall_cycles += other.stall_cycles
-        self.total_cycles = max(self.total_cycles, other.total_cycles)
+    # ``snapshot``/``merge``/``reset`` come from StatsMixin;
+    # ``total_cycles`` combines with ``max`` (wall-clock anchor, not a sum).

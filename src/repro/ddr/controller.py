@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..obs.protocol import StatsMixin
 from .bank import AccessKind, DDRBank
 from .timing import DDRTiming
 
@@ -29,7 +30,7 @@ class QueuedRequest:
 
 
 @dataclass
-class ControllerStats:
+class ControllerStats(StatsMixin):
     served: int = 0
     reordered: int = 0  # served ahead of an older request
     row_hits: int = 0

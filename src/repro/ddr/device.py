@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.packet import CoalescedRequest
+from repro.obs.protocol import StatsMixin
 
 from .controller import FRFCFSController, QueuedRequest
 from .timing import DDRTiming
@@ -51,7 +52,11 @@ class DDRConfig:
 
 
 @dataclass
-class DDRStats:
+class DDRStats(StatsMixin):
+    MERGE_MAX = frozenset({"last_completion"})
+    MERGE_MIN_SENTINEL = frozenset({"first_arrival"})
+    SNAPSHOT_DERIVED = ("mean_latency", "makespan")
+
     requests: int = 0
     line_accesses: int = 0
     total_latency: int = 0

@@ -22,6 +22,8 @@ from repro.core.packet import CoalescedRequest
 from repro.core.stats import MACStats
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
+from repro.obs.metrics import flatten
+from repro.obs.tracer import NULL_TRACER
 from repro.seeding import DEFAULT_SEED
 from repro.trace.record import TraceRecord, to_requests
 from repro.workloads.registry import make
@@ -153,6 +155,10 @@ class DispatchResult:
     packets: List[CoalescedRequest]
     stats: MACStats
 
+    def metrics(self) -> Dict[str, object]:
+        """Flat ``mac.*`` metrics view of the dispatch stats."""
+        return flatten(self.stats.snapshot(), "mac.")
+
 
 def dispatch(
     name: str,
@@ -162,11 +168,14 @@ def dispatch(
     config: Optional[MACConfig] = None,
     seed: int = DEFAULT_SEED,
     flit_policy: FlitTablePolicy = FlitTablePolicy.SPAN,
+    tracer=NULL_TRACER,
 ) -> DispatchResult:
     """Run one benchmark trace through a dispatch policy.
 
     policy: "mac" (window engine), "mac-cycle" (cycle engine), "raw"
-    (direct 16 B dispatch).
+    (direct 16 B dispatch).  ``tracer`` records cycle-stamped ARQ/builder
+    events for the cycle engine (the window and raw engines are not
+    clocked, so they emit nothing).
     """
     trace = cached_trace(name, threads, ops_per_thread, seed)
     requests = list(to_requests(trace))
@@ -174,7 +183,7 @@ def dispatch(
     if policy == "mac":
         packets = coalesce_trace_fast(requests, config, flit_policy, stats)
     elif policy == "mac-cycle":
-        mac = MAC(config, policy=flit_policy)
+        mac = MAC(config, policy=flit_policy, tracer=tracer)
         mac.attach_stats(stats)
         packets = mac.process(requests)
     elif policy == "raw":
@@ -195,11 +204,16 @@ class ReplayResult:
     wire_bytes: int
     device: HMCDevice
 
+    def metrics(self) -> Dict[str, object]:
+        """Flat namespaced metrics view of the replayed device."""
+        return self.device.metrics()
+
 
 def replay_on_device(
     packets: Sequence[CoalescedRequest],
     cycles_per_packet: float = 0.0,
     hmc: Optional[HMCConfig] = None,
+    tracer=NULL_TRACER,
 ) -> ReplayResult:
     """Feed packets into a fresh device at the MAC's issue cadence.
 
@@ -215,7 +229,7 @@ def replay_on_device(
     """
     if cycles_per_packet < 0:
         raise ValueError("cadence must be non-negative")
-    dev = HMCDevice(hmc)
+    dev = HMCDevice(hmc, tracer=tracer)
     t = 0.0
     for pkt in packets:
         dev.submit(pkt, int(t))

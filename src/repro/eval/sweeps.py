@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
+import math
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.config import MACConfig
@@ -185,6 +186,11 @@ def best_point(
     ``avg_targets`` are maximized; ``packets`` is *minimized* (packets is
     a lower-is-better metric — fewer emitted packets for the same raw
     requests means better coalescing).  See :data:`METRIC_MAXIMIZE`.
+
+    Cells whose suite-average is NaN — e.g. a fence-only stream where
+    ``coalescing_efficiency`` is undefined — are excluded from the
+    ranking rather than silently comparing as best/worst; an all-NaN
+    sweep raises.
     """
     if not points:
         raise ValueError("empty sweep")
@@ -199,6 +205,13 @@ def best_point(
     def score(items: List[SweepPoint]) -> float:
         return sum(getattr(p, metric) for p in items) / len(items)
 
+    scored = [
+        (cell, score(cell))
+        for cell in by_params.values()
+        if not math.isnan(score(cell))
+    ]
+    if not scored:
+        raise ValueError(f"metric {metric!r} is undefined (NaN) on every cell")
     choose: Callable = max if METRIC_MAXIMIZE[metric] else min
-    best = choose(by_params.values(), key=score)
+    best, _ = choose(scored, key=lambda item: item[1])
     return best[0]

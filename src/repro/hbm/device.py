@@ -20,6 +20,7 @@ from typing import List, Optional
 from repro.core.packet import CoalescedRequest, CoalescedResponse
 from repro.hmc.bank import Bank  # closed-page bank model is shared
 from repro.hmc.timing import HMCTiming
+from repro.obs.protocol import StatsMixin
 
 from .config import HBMConfig
 
@@ -36,7 +37,11 @@ class _Channel:
 
 
 @dataclass
-class HBMStats:
+class HBMStats(StatsMixin):
+    MERGE_MAX = frozenset({"last_completion"})
+    MERGE_MIN_SENTINEL = frozenset({"first_arrival"})
+    SNAPSHOT_DERIVED = ("mean_latency", "makespan")
+
     requests: int = 0
     bursts: int = 0
     activations: int = 0

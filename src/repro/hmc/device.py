@@ -33,6 +33,8 @@ from typing import List, Optional
 from repro.core.packet import CoalescedRequest, CoalescedResponse
 from repro.faults.injector import FaultInjector
 from repro.faults.stats import FaultStats
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
 
 from .config import HMCConfig
 from .crossbar import Crossbar
@@ -52,14 +54,16 @@ class HMCDevice:
         assert resp.complete_cycle > 100
     """
 
-    def __init__(self, config: Optional[HMCConfig] = None) -> None:
+    def __init__(self, config: Optional[HMCConfig] = None, tracer=NULL_TRACER) -> None:
         self.config = config or HMCConfig()
+        self.tracer = tracer
         self.links: List[Link] = [
-            Link(i, self.config.timing) for i in range(self.config.links)
+            Link(i, self.config.timing, tracer=tracer)
+            for i in range(self.config.links)
         ]
         self.crossbar = Crossbar(self.config.timing)
         self.vaults: List[Vault] = [
-            Vault(i, self.config) for i in range(self.config.vaults)
+            Vault(i, self.config, tracer=tracer) for i in range(self.config.vaults)
         ]
         self.stats = HMCStats()
         self._last_arrival = 0
@@ -280,6 +284,42 @@ class HMCDevice:
         if not self.links:
             return 0.0
         return len(self.failed_links) / len(self.links)
+
+    def metrics(self) -> dict:
+        """Flat namespaced metrics over the device's stats sources."""
+        reg = MetricsRegistry()
+        reg.register("device", self.stats)
+
+        def vault_totals() -> dict:
+            return {
+                "requests": sum(v.stats.requests for v in self.vaults),
+                "queue_wait_cycles": sum(
+                    v.stats.queue_wait_cycles for v in self.vaults
+                ),
+                "service_cycles": sum(v.stats.service_cycles for v in self.vaults),
+                "bank_conflicts": self.bank_conflicts,
+                "activations": self.activations,
+            }
+
+        def link_totals() -> dict:
+            return {
+                "wire_flits": sum(link.wire_flits for link in self.links),
+                "packets": sum(
+                    link.request.packets + link.response.packets
+                    for link in self.links
+                ),
+                "busy_cycles": sum(
+                    link.request.busy_cycles + link.response.busy_cycles
+                    for link in self.links
+                ),
+                "failed": len(self.failed_links),
+            }
+
+        reg.register("vaults", vault_totals)
+        reg.register("links", link_totals)
+        if self.fault_stats is not None:
+            reg.register("faults", self.fault_stats)
+        return reg.collect()
 
     def unloaded_read_latency(self, size: int = 16) -> int:
         """Analytic latency of one isolated read (Table 1 calibration)."""

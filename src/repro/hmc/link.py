@@ -33,6 +33,7 @@ from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.tracer import NULL_TRACER
 from .timing import HMCTiming
 
 #: Cap on the exponential-backoff shift so huge retry limits cannot
@@ -161,6 +162,8 @@ class LinkChannel:
     busy_cycles: int = 0
     #: Retry-protocol state; None = fault-free fast path.
     retry: Optional[RetryState] = None
+    #: Event tracer (the no-op singleton unless a run attaches one).
+    tracer: object = NULL_TRACER
 
     def transmit(self, arrival: int, nflits: int) -> int:
         """Serialize ``nflits`` starting no earlier than ``arrival``.
@@ -222,12 +225,26 @@ class LinkChannel:
                 rs.naks += 1
                 rs.record("crc_error")
                 rs.record("nak")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "link", "nak", arrive, site=rs.site, seq=seq,
+                        failures=failures + 1,
+                    )
                 failures += 1
                 if failures > cfg.retry_limit:
                     self.ready_cycle = max(self.ready_cycle, ser_end)
+                    if self.tracer.enabled:
+                        self.tracer.emit(
+                            "link", "link_failed", arrive, site=rs.site, seq=seq
+                        )
                     raise rs.fail(arrive, "retry limit exceeded")
                 rs.retries += 1
                 rs.record("retry")
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "link", "retry", t, site=rs.site, seq=seq,
+                        backoff=_backoff(cfg.backoff_base, failures),
+                    )
                 t = arrive + lat + _backoff(cfg.backoff_base, failures)
                 continue
             if delivered_at is None:
@@ -247,9 +264,17 @@ class LinkChannel:
             failures += 1
             if failures > cfg.retry_limit:
                 self.ready_cycle = max(self.ready_cycle, ser_end)
+                if self.tracer.enabled:
+                    self.tracer.emit(
+                        "link", "link_failed", arrive, site=rs.site, seq=seq
+                    )
                 raise rs.fail(arrive, "retry limit exceeded (lost acks)")
             rs.retries += 1
             rs.record("retry")
+            if self.tracer.enabled:
+                self.tracer.emit(
+                    "link", "retry", arrive, site=rs.site, seq=seq, lost_ack=True
+                )
             t = arrive + lat + _backoff(cfg.backoff_base, failures)
 
         self.ready_cycle = max(self.ready_cycle, ser_end)
@@ -268,10 +293,10 @@ def _backoff(base: int, failures: int) -> int:
 class Link:
     """Full-duplex link: independent request/response channels."""
 
-    def __init__(self, index: int, timing: HMCTiming) -> None:
+    def __init__(self, index: int, timing: HMCTiming, tracer=NULL_TRACER) -> None:
         self.index = index
-        self.request = LinkChannel(timing)
-        self.response = LinkChannel(timing)
+        self.request = LinkChannel(timing, tracer=tracer)
+        self.response = LinkChannel(timing, tracer=tracer)
 
     @property
     def wire_flits(self) -> int:

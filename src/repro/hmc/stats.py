@@ -5,14 +5,26 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List
 
+from ..obs.metrics import Histogram
+from ..obs.protocol import StatsMixin
+
 
 @dataclass(slots=True)
-class HMCStats:
+class HMCStats(StatsMixin):
     """Aggregate counters of one simulated device.
 
     ``bank_conflicts`` feeds Fig. 12; latency sums feed Fig. 17; wire
     FLIT counts cross-check the bandwidth metrics of Figs. 13/14.
+
+    Per-request latencies live in a bounded :class:`Histogram` (exact up
+    to its sample limit, bucketed beyond), so a long replay no longer
+    grows an unbounded Python list; :attr:`latencies` remains as a
+    compatibility view over the exact sample prefix.
     """
+
+    MERGE_MAX = frozenset({"last_completion"})
+    MERGE_MIN_SENTINEL = frozenset({"first_arrival"})
+    SNAPSHOT_DERIVED = ("mean_latency", "makespan")
 
     requests: int = 0
     reads: int = 0
@@ -27,7 +39,8 @@ class HMCStats:
     last_completion: int = 0
     #: Arrival cycle of the first request.
     first_arrival: int = -1
-    latencies: List[int] = field(default_factory=list)
+    #: Bounded per-request latency distribution.
+    latency_hist: Histogram = field(default_factory=Histogram)
     size_histogram: Dict[int, int] = field(default_factory=dict)
     #: Per-site fault/recovery counters (``site -> event -> count``).
     #: Shares the injector's live FaultStats dict; empty when fault
@@ -41,12 +54,21 @@ class HMCStats:
         self.payload_bytes += size
         lat = completion - arrival
         self.total_latency_cycles += lat
-        self.latencies.append(lat)
+        self.latency_hist.add(lat)
         self.size_histogram[size] = self.size_histogram.get(size, 0) + 1
         self.bank_conflicts += conflicts_delta
         self.last_completion = max(self.last_completion, completion)
         if self.first_arrival < 0 or arrival < self.first_arrival:
             self.first_arrival = arrival
+
+    @property
+    def latencies(self) -> List[int]:
+        """Exact per-request latencies (compatibility view).
+
+        Faithful while the run is shorter than the histogram's sample
+        limit; truncated to the exact prefix beyond it.
+        """
+        return [int(v) for v in self.latency_hist.samples]
 
     @property
     def mean_latency(self) -> float:
@@ -65,16 +87,7 @@ class HMCStats:
 
     def latency_percentile(self, q: float) -> float:
         """q-quantile (0..1) of per-request latency, linear-interpolated."""
-        if not 0 <= q <= 1:
-            raise ValueError("quantile must be in [0, 1]")
-        if not self.latencies:
-            return 0.0
-        data = sorted(self.latencies)
-        pos = q * (len(data) - 1)
-        lo = int(pos)
-        hi = min(lo + 1, len(data) - 1)
-        frac = pos - lo
-        return data[lo] * (1 - frac) + data[hi] * frac
+        return self.latency_hist.quantile(q)
 
     @property
     def p50_latency(self) -> float:

@@ -12,13 +12,15 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..obs.protocol import StatsMixin
+from ..obs.tracer import NULL_TRACER
 from .bank import Bank
 from .config import HMCConfig
 from .timing import HMCTiming
 
 
 @dataclass(slots=True)
-class VaultStats:
+class VaultStats(StatsMixin):
     requests: int = 0
     reads: int = 0
     writes: int = 0
@@ -29,10 +31,11 @@ class VaultStats:
 class Vault:
     """One vault: front-end queue + banks."""
 
-    def __init__(self, index: int, config: HMCConfig) -> None:
+    def __init__(self, index: int, config: HMCConfig, tracer=NULL_TRACER) -> None:
         self.index = index
         self.config = config
         self.timing: HMCTiming = config.timing
+        self.tracer = tracer
         self.banks: List[Bank] = [
             Bank(self.timing) for _ in range(config.banks_per_vault)
         ]
@@ -63,8 +66,21 @@ class Vault:
         self.frontend_ready = start + self.timing.vault_processing
         dispatched = start + self.timing.vault_processing
 
-        done = self.banks[bank_idx].access(dispatched, dram_row, columns)
+        bank = self.banks[bank_idx]
+        conflicts_before = bank.conflicts
+        done = bank.access(dispatched, dram_row, columns)
         st.service_cycles += done - arrival
+        if self.tracer.enabled:
+            self.tracer.emit(
+                "vault", "activate", dispatched,
+                vault=self.index, bank=bank_idx, row=dram_row,
+                write=is_write,
+            )
+            if bank.conflicts > conflicts_before:
+                self.tracer.emit(
+                    "vault", "conflict", dispatched,
+                    vault=self.index, bank=bank_idx, row=dram_row,
+                )
         return done
 
     # -- aggregates -----------------------------------------------------------

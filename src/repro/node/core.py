@@ -19,13 +19,16 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional
 
 from repro.core.request import MemoryRequest
+from repro.obs.protocol import StatsMixin
 
 from .lsq import LoadStoreQueue
 from .spm import ScratchpadMemory
 
 
 @dataclass
-class CoreStats:
+class CoreStats(StatsMixin):
+    MERGE_MAX = frozenset({"finished_cycle"})
+
     issued: int = 0
     spm_hits: int = 0
     mac_requests: int = 0

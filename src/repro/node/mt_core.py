@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from typing import Iterator, List, Optional, Sequence
 
 from repro.core.request import MemoryRequest
+from repro.obs.protocol import StatsMixin
 
 from .spm import ScratchpadMemory
 
@@ -36,7 +37,7 @@ class _Context:
 
 
 @dataclass
-class MTCoreStats:
+class MTCoreStats(StatsMixin):
     issued: int = 0
     spm_hits: int = 0
     mac_requests: int = 0

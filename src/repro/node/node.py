@@ -20,13 +20,23 @@ from repro.core.mac import MAC
 from repro.core.request import MemoryRequest
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
+from repro.obs.metrics import flatten
+from repro.obs.protocol import StatsMixin
+from repro.obs.tracer import NULL_TRACER
 
 from .core import InOrderCore
 from .spm import ScratchpadMemory
 
 
 @dataclass
-class NodeStats:
+class NodeStats(StatsMixin):
+    # The derived fills are per-run summaries, not additive counters:
+    # the pessimistic (max) value is the honest cross-worker aggregate.
+    MERGE_MAX = frozenset(
+        {"cycles", "coalescing_efficiency", "mean_memory_latency",
+         "link_bandwidth_loss"}
+    )
+
     cycles: int = 0
     requests_issued: int = 0
     responses_delivered: int = 0
@@ -59,9 +69,11 @@ class Node:
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         coalescing_enabled: bool = True,
         spm_factory: Optional[Callable[[int], ScratchpadMemory]] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.system = system or SystemConfig()
         self.node_id = node_id
+        self.tracer = tracer
         #: With coalescing disabled the MAC degenerates to a 1-entry ARQ
         #: with no latency hiding: every request ships as a 16 B packet
         #: (the paper's "without MAC" baseline).
@@ -70,8 +82,8 @@ class Node:
             if coalescing_enabled
             else MACConfig(arq_entries=1, latency_hiding=False)
         )
-        self.mac = MAC(mac_cfg, node_id=node_id, policy=policy)
-        self.device = HMCDevice(hmc_config)
+        self.mac = MAC(mac_cfg, node_id=node_id, policy=policy, tracer=tracer)
+        self.device = HMCDevice(hmc_config, tracer=tracer)
         self.cores: List[InOrderCore] = []
         for cid, stream in enumerate(streams):
             spm = (
@@ -107,6 +119,24 @@ class Node:
     def degraded(self) -> bool:
         """True once the device lost at least one link to a hard fault."""
         return bool(self.device.failed_links)
+
+    def metrics(self) -> dict:
+        """Flat namespaced metrics over every stats source of the node.
+
+        Unions the MAC's (``mac.*``/``router.*``/``arq.*``) and the
+        device's (``device.*``/``vaults.*``/``links.*``/``faults.*``)
+        already-namespaced views with ``node.*`` and summed ``cores.*``.
+        """
+        out = flatten(self.stats.snapshot(), "node.")
+        out.update(self.mac.metrics())
+        out.update(self.device.metrics())
+        core_totals: dict = {}
+        for core in self.cores:
+            for key, value in core.stats.snapshot().items():
+                if isinstance(value, (int, float)):
+                    core_totals[key] = core_totals.get(key, 0) + value
+        out.update(flatten(core_totals, "cores."))
+        return out
 
     def tick(self) -> None:
         cycle = self._cycle

@@ -16,6 +16,10 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.request import MemoryRequest
+from repro.obs.protocol import StatsMixin
+
+from repro.obs.metrics import flatten
+from repro.obs.tracer import NULL_TRACER
 
 from .interconnect import Interconnect
 from .node import Node
@@ -36,7 +40,9 @@ def interleaved_home(nodes: int, granularity: int = 1 << 12):
 
 
 @dataclass
-class SystemStats:
+class SystemStats(StatsMixin):
+    MERGE_MAX = frozenset({"cycles", "link_bandwidth_loss"})
+
     cycles: int = 0
     local_requests: int = 0
     remote_requests: int = 0
@@ -59,14 +65,22 @@ class NUMASystem:
         interconnect_latency: int = 120,
         interleave_bytes: int = 1 << 12,
         hmc_config=None,
+        tracer=NULL_TRACER,
     ) -> None:
         n = len(streams_per_node)
         if n < 1:
             raise ValueError("need at least one node")
+        self.tracer = tracer
         self.home = interleaved_home(n, interleave_bytes)
         self.nodes: List[Node] = []
         for nid, streams in enumerate(streams_per_node):
-            node = Node(streams, system=system, hmc_config=hmc_config, node_id=nid)
+            node = Node(
+                streams,
+                system=system,
+                hmc_config=hmc_config,
+                node_id=nid,
+                tracer=tracer,
+            )
             # Rewire the request router with the shared home function.
             node.mac.request_router.home_fn = self.home
             self.nodes.append(node)
@@ -119,6 +133,19 @@ class NUMASystem:
     def degraded_nodes(self) -> List[int]:
         """Nodes whose device lost at least one link to a hard fault."""
         return [n.node_id for n in self.nodes if n.degraded]
+
+    def metrics(self) -> dict:
+        """One flat namespaced dict over every stats source in the system.
+
+        ``system.*`` carries :class:`SystemStats`; each node's full view
+        (node/mac/arq/router/device/vaults/links/cores, see
+        :meth:`repro.node.node.Node.metrics`) appears under
+        ``node<id>.*``.
+        """
+        out = flatten(self.stats.snapshot(), "system.")
+        for node in self.nodes:
+            out.update(flatten(node.metrics(), f"node{node.node_id}."))
+        return out
 
     def run(self, max_cycles: int = 50_000_000) -> SystemStats:
         while not self.done():

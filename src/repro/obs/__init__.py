@@ -1,0 +1,39 @@
+"""Observability layer: metrics registry, stats protocol, event tracing.
+
+``repro.obs`` gives the simulator the substrate its evaluation depends
+on (DESIGN.md section 9):
+
+* :class:`MetricsRegistry` + :class:`Counter`/:class:`Gauge`/
+  :class:`Histogram` — one flat, namespaced ``metrics()`` view over
+  every stats source;
+* :class:`StatsMixin` / :class:`StatsProtocol` — the shared
+  snapshot/merge/reset contract every ``*Stats`` dataclass adopts,
+  making parallel-eval workers mergeable by construction;
+* :class:`EventTracer` / :data:`NULL_TRACER` — cycle-stamped structured
+  event traces with Chrome-trace (Perfetto) and JSONL export, off by
+  default with a bit-identical no-op path.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    flatten,
+)
+from .protocol import StatsMixin, StatsProtocol, merge_all
+from .tracer import NULL_TRACER, EventTracer, NullTracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "flatten",
+    "StatsMixin",
+    "StatsProtocol",
+    "merge_all",
+    "EventTracer",
+    "NullTracer",
+    "NULL_TRACER",
+]

@@ -1,0 +1,352 @@
+"""Metric primitives and the registry behind ``system.metrics()``.
+
+Three primitives cover every counter the evaluation layer consumes:
+
+* :class:`Counter` — monotonically increasing event count;
+* :class:`Gauge` — last-written value with an explicit merge policy;
+* :class:`Histogram` — bounded distribution sketch: fixed (geometric by
+  default) buckets plus an exact sample prefix, so latency distributions
+  (Figs. 12-17 style analyses, Hadidi et al.'s characterization metrics)
+  stay available without the unbounded Python lists the stats layer used
+  to accumulate.
+
+All three share the snapshot/merge/reset contract of
+:class:`repro.obs.protocol.StatsProtocol`, so they compose with the
+``*Stats`` dataclasses inside one :class:`MetricsRegistry`, which
+flattens every registered source into a single namespaced dict —
+``{"mac.raw_requests": 71, "device.latency.p99": 431.0, ...}``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Tuple, Union
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "flatten",
+]
+
+#: Geometric default bucket edges: 1, 2, 4, ... 2**30 cycles.
+DEFAULT_BOUNDS: Tuple[int, ...] = tuple(1 << i for i in range(31))
+
+#: Exact samples kept per histogram before falling back to buckets.
+DEFAULT_SAMPLE_LIMIT = 8192
+
+
+class Counter:
+    """A monotonically increasing event counter."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value
+
+    def inc(self, n: int = 1) -> None:
+        if n < 0:
+            raise ValueError("counters only increase; use a Gauge")
+        self.value += n
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Counter) and self.value == other.value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.value})"
+
+
+class Gauge:
+    """Last-written value with an explicit merge policy.
+
+    ``policy`` decides how parallel-worker copies combine: ``"last"``
+    (other wins), ``"max"``, ``"min"`` or ``"sum"``.  ``max``/``min``/
+    ``sum`` are associative; ``last`` is merge-order defined.
+    """
+
+    __slots__ = ("value", "policy")
+
+    _POLICIES = ("last", "max", "min", "sum")
+
+    def __init__(self, value: float = 0.0, policy: str = "last") -> None:
+        if policy not in self._POLICIES:
+            raise ValueError(f"unknown gauge policy {policy!r}")
+        self.value = value
+        self.policy = policy
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {"value": self.value}
+
+    def merge(self, other: "Gauge") -> None:
+        if self.policy == "last":
+            self.value = other.value
+        elif self.policy == "max":
+            self.value = max(self.value, other.value)
+        elif self.policy == "min":
+            self.value = min(self.value, other.value)
+        else:
+            self.value += other.value
+
+    def reset(self) -> None:
+        self.value = 0.0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Gauge)
+            and self.value == other.value
+            and self.policy == other.policy
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.value}, policy={self.policy!r})"
+
+
+class Histogram:
+    """Bounded distribution sketch: fixed buckets + exact sample prefix.
+
+    Values land in geometric buckets (``bounds`` are inclusive upper
+    edges; one overflow bucket catches the rest).  The first
+    ``sample_limit`` values are additionally kept verbatim, in arrival
+    order, so short runs (tests, single figures) get *exact* quantiles
+    and a faithful ``samples`` list, while million-request sweeps stay
+    O(buckets) in memory and fall back to interpolated bucket quantiles.
+
+    Merging keeps the first ``sample_limit`` samples in concatenation
+    order — a policy chosen because it is associative, which the
+    parallel evaluation engine's chunked aggregation relies on.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "total", "min", "max",
+                 "sample_limit", "_samples")
+
+    def __init__(
+        self,
+        bounds: Optional[Iterable[int]] = None,
+        sample_limit: int = DEFAULT_SAMPLE_LIMIT,
+    ) -> None:
+        self.bounds: Tuple[int, ...] = (
+            tuple(bounds) if bounds is not None else DEFAULT_BOUNDS
+        )
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError("histogram bounds must be strictly increasing")
+        if sample_limit < 0:
+            raise ValueError("sample_limit must be non-negative")
+        self.sample_limit = sample_limit
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self._samples: List[float] = []
+
+    # -- recording ---------------------------------------------------------
+
+    def add(self, value: float, n: int = 1) -> None:
+        if n < 1:
+            raise ValueError("need a positive occurrence count")
+        self.counts[bisect_left(self.bounds, value)] += n
+        self.count += n
+        self.total += value * n
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        room = self.sample_limit - len(self._samples)
+        if room > 0:
+            self._samples.extend([value] * min(n, room))
+
+    # -- introspection -----------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.count
+
+    @property
+    def exact(self) -> bool:
+        """Whether every recorded value is still held verbatim."""
+        return len(self._samples) == self.count
+
+    @property
+    def samples(self) -> List[float]:
+        """The exact sample prefix (all values while under the limit)."""
+        return list(self._samples)
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """q-quantile (0..1); exact while under the sample limit,
+        linearly interpolated over buckets afterwards."""
+        if not 0 <= q <= 1:
+            raise ValueError("quantile must be in [0, 1]")
+        if not self.count:
+            return 0.0
+        if self.exact:
+            data = sorted(self._samples)
+            pos = q * (len(data) - 1)
+            lo = int(pos)
+            hi = min(lo + 1, len(data) - 1)
+            frac = pos - lo
+            return data[lo] * (1 - frac) + data[hi] * frac
+        return self._bucket_quantile(q)
+
+    def _bucket_quantile(self, q: float) -> float:
+        rank = q * (self.count - 1)
+        seen = 0
+        for i, n in enumerate(self.counts):
+            if n == 0:
+                continue
+            if seen + n > rank:
+                lo = self.bounds[i - 1] if i > 0 else (self.min or 0)
+                hi = self.bounds[i] if i < len(self.bounds) else (self.max or lo)
+                lo = max(lo, self.min if self.min is not None else lo)
+                hi = min(hi, self.max if self.max is not None else hi)
+                if n == 1:
+                    return float(hi)
+                frac = (rank - seen) / (n - 1)
+                return lo + (hi - lo) * frac
+            seen += n
+        return float(self.max or 0)
+
+    # -- protocol ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "mean": self.mean,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "buckets": {
+                str(self.bounds[i]) if i < len(self.bounds) else "inf": n
+                for i, n in enumerate(self.counts)
+                if n
+            },
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        if self.bounds != other.bounds:
+            raise ValueError("cannot merge histograms with different bounds")
+        for i, n in enumerate(other.counts):
+            self.counts[i] += n
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None:
+            self.min = other.min if self.min is None else min(self.min, other.min)
+        if other.max is not None:
+            self.max = other.max if self.max is None else max(self.max, other.max)
+        room = self.sample_limit - len(self._samples)
+        if room > 0:
+            self._samples.extend(other._samples[:room])
+
+    def reset(self) -> None:
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.total = 0
+        self.min = None
+        self.max = None
+        self._samples = []
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Histogram):
+            return NotImplemented
+        return (
+            self.bounds == other.bounds
+            and self.counts == other.counts
+            and self.count == other.count
+            and self.total == other.total
+            and self.min == other.min
+            and self.max == other.max
+            and self._samples == other._samples
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Histogram(count={self.count}, mean={self.mean:.1f})"
+
+    # Pickling support for slotted class (fork-less pool workers, tests).
+    def __getstate__(self):
+        return {name: getattr(self, name) for name in self.__slots__}
+
+    def __setstate__(self, state):
+        for name, value in state.items():
+            setattr(self, name, value)
+
+
+#: Anything the registry can read: a StatsProtocol object, a metric
+#: primitive, a plain dict, or a zero-arg callable returning a dict.
+MetricSource = Union[Any, Callable[[], Mapping[str, Any]]]
+
+
+def flatten(data: Mapping[str, Any], prefix: str = "") -> Dict[str, Any]:
+    """Flatten nested dicts into dotted keys; leaves stay as-is."""
+    out: Dict[str, Any] = {}
+    for key, value in data.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, Mapping):
+            out.update(flatten(value, f"{name}."))
+        else:
+            out[name] = value
+    return out
+
+
+class MetricsRegistry:
+    """Namespaced view over every stats source of a simulation.
+
+    Sources register under a namespace; :meth:`collect` snapshots each
+    one and flattens the result into a single dict keyed
+    ``namespace.field[.subfield]``.  Registering is cheap (no copies);
+    collection walks live objects, so one registry built at setup time
+    stays valid for the whole run.
+    """
+
+    def __init__(self) -> None:
+        self._sources: Dict[str, MetricSource] = {}
+
+    def register(self, namespace: str, source: MetricSource) -> None:
+        if not namespace or "." in namespace:
+            raise ValueError("namespace must be a non-empty dot-free string")
+        if namespace in self._sources:
+            raise ValueError(f"namespace {namespace!r} already registered")
+        self._sources[namespace] = source
+
+    def unregister(self, namespace: str) -> None:
+        self._sources.pop(namespace, None)
+
+    def namespaces(self) -> List[str]:
+        return sorted(self._sources)
+
+    @staticmethod
+    def _read(source: MetricSource) -> Mapping[str, Any]:
+        if callable(source) and not hasattr(source, "snapshot"):
+            data = source()
+        elif hasattr(source, "snapshot"):
+            data = source.snapshot()
+        elif isinstance(source, Mapping):
+            data = source
+        else:
+            raise TypeError(
+                f"metric source {source!r} has no snapshot()/dict interface"
+            )
+        if not isinstance(data, Mapping):
+            raise TypeError(f"metric source produced {type(data).__name__}, not dict")
+        return data
+
+    def collect(self) -> Dict[str, Any]:
+        """One flat namespaced dict over every registered source."""
+        out: Dict[str, Any] = {}
+        for namespace in sorted(self._sources):
+            out.update(flatten(self._read(self._sources[namespace]), f"{namespace}."))
+        return out

@@ -16,6 +16,7 @@ from typing import Iterable, Iterator, List, Optional, Tuple
 from repro.core.address import AddressCodec
 from repro.core.config import MACConfig
 from repro.core.request import RequestType
+from repro.obs.protocol import StatsMixin
 
 from .record import TraceRecord
 
@@ -41,13 +42,16 @@ def annotate(
 
 
 @dataclass(slots=True)
-class RowLocalityStats:
+class RowLocalityStats(StatsMixin):
     """Row-reuse profile of a trace under a sliding window.
 
     ``window_hits / accesses`` upper-bounds the coalescing efficiency a
     W-entry ARQ can reach on the trace (type mismatches and capacity
     evictions only lower it).
     """
+
+    MERGE_CONFIG = frozenset({"window"})
+    SNAPSHOT_DERIVED = ("hit_rate",)
 
     window: int
     accesses: int = 0
@@ -64,6 +68,12 @@ class RowLocalityStats:
         if not self.distinct_rows:
             return 0.0
         return self.accesses / self.distinct_rows
+
+    def _post_merge(self, other: "RowLocalityStats") -> None:
+        # With popularity tracked the merged counter de-duplicates rows
+        # exactly; without it the generic sum stands (an upper bound).
+        if self.row_popularity:
+            self.distinct_rows = len(self.row_popularity)
 
 
 def row_locality(

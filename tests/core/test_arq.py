@@ -134,6 +134,45 @@ class TestFences:
         arq.pop()
         assert arq.comparators_enabled
 
+    def test_same_epoch_requests_merge_behind_fence(self):
+        # A fence only separates *epochs*: two requests that both arrived
+        # after the fence are on the same side of it and may merge with
+        # each other while the fence is still pending.
+        arq = make_arq()
+        arq.push(req(0xA00, tag=1))
+        arq.push(MemoryRequest(addr=0, rtype=RequestType.FENCE))
+        arq.push(req(0xA10, tag=2))  # blocked from the pre-fence entry
+        arq.push(req(0xA20, tag=3))  # merges with tag=2's entry
+        assert len(arq) == 3  # pre-fence row A, fence, post-fence row A
+        assert arq.fence_blocked_merges == 1
+        assert arq.entries()[-1].target_count == 2
+
+    def test_blocked_counting_stops_after_fence_drains(self):
+        # Regression: with back-to-back fences the blocked-merge counter
+        # kept ticking for rows whose fenced entry (or fence) had already
+        # left the queue — i.e. for merges no fence actually prevented.
+        arq = make_arq()
+        arq.push(req(0xA00, tag=1))
+        arq.push(MemoryRequest(addr=0, rtype=RequestType.FENCE))
+        arq.push(req(0xB00, tag=2))
+        arq.push(MemoryRequest(addr=0, rtype=RequestType.FENCE))
+        arq.pop()  # row A entry
+        arq.pop()  # fence 1 (fence 2 still pending)
+        # Row A's fenced entry is gone; a fresh row-A request has nothing
+        # to illegally merge with, so it allocates without being counted.
+        assert arq.push(req(0xA10, tag=3))
+        assert arq.fence_blocked_merges == 0
+        # Row B *is* still resident on the far side of fence 2: blocked.
+        arq.push(req(0xB10, tag=4))
+        assert arq.fence_blocked_merges == 1
+        # Drain row B and fence 2; the fenced epoch is over, so same-row
+        # pushes merge freely again and the counter stays put.
+        while arq._fence_pending:
+            arq.pop()
+        arq.push(req(0xB20, tag=5))
+        assert arq.fence_blocked_merges == 1
+        assert arq.entries()[-1].target_count == 2  # tag 4 + tag 5 merged
+
 
 class TestAtomics:
     def test_atomic_never_merges(self):

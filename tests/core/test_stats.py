@@ -140,3 +140,17 @@ class TestMACStats:
         assert st.avg_targets_per_packet == 0.0
         assert st.max_targets_per_packet == 0
         assert st.coalesced_bandwidth_efficiency == 0.0
+
+    def test_efficiency_undefined_without_memory_requests(self):
+        # Regression: a stream with zero *memory* raw requests (e.g.
+        # fences/atomics only) that still emitted packets used to report
+        # a perfect-looking 0.0 efficiency; it must be nan so sweeps and
+        # rankings cannot treat the degenerate cell as a real result.
+        import math
+
+        st = MACStats()
+        st.record_raw(RequestType.FENCE)
+        st.record_packet(pkt(n=1))
+        assert st.memory_raw_requests == 0
+        assert math.isnan(st.coalescing_efficiency)
+        assert math.isnan(st.snapshot()["coalescing_efficiency"])

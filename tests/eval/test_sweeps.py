@@ -140,6 +140,26 @@ class TestReporting:
         with pytest.raises(ValueError):
             best_point([_point((("arq_entries", 8),))], metric="workload")
 
+    def test_best_point_skips_nan_cells(self):
+        # Regression: a NaN suite-average (undefined efficiency on a
+        # degenerate cell) compares as neither larger nor smaller, so
+        # max() could hand back the NaN cell as "best"; such cells must
+        # be excluded from the ranking.
+        nan = float("nan")
+        pts = [
+            _point((("arq_entries", 8),), efficiency=nan),
+            _point((("arq_entries", 64),), efficiency=0.4),
+        ]
+        assert best_point(pts, metric="efficiency").param("arq_entries") == 64
+        assert best_point(list(reversed(pts)), metric="efficiency").param(
+            "arq_entries"
+        ) == 64
+
+    def test_best_point_all_nan_rejected(self):
+        pts = [_point((("arq_entries", 8),), efficiency=float("nan"))]
+        with pytest.raises(ValueError, match="NaN"):
+            best_point(pts, metric="efficiency")
+
     def test_metric_direction_map_covers_sweep_metrics(self):
         assert METRIC_MAXIMIZE["packets"] is False
         assert METRIC_MAXIMIZE["efficiency"] is True

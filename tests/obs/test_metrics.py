@@ -1,0 +1,136 @@
+"""Unit tests for the metric primitives and the registry."""
+
+import pickle
+
+import pytest
+
+from repro.obs import Counter, Gauge, Histogram, MetricsRegistry, flatten
+
+pytestmark = pytest.mark.obs
+
+
+class TestCounter:
+    def test_inc_and_snapshot(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        assert c.snapshot() == {"value": 5}
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Counter().inc(-1)
+
+    def test_merge_and_reset(self):
+        a, b = Counter(3), Counter(4)
+        a.merge(b)
+        assert a.value == 7
+        a.reset()
+        assert a.value == 0
+
+
+class TestGauge:
+    def test_policies(self):
+        for policy, expect in (("last", 2.0), ("max", 5.0), ("min", 2.0), ("sum", 7.0)):
+            g = Gauge(5.0, policy=policy)
+            g.merge(Gauge(2.0, policy=policy))
+            assert g.value == expect, policy
+
+    def test_unknown_policy(self):
+        with pytest.raises(ValueError):
+            Gauge(policy="median")
+
+
+class TestHistogram:
+    def test_exact_quantiles_match_sorted_interpolation(self):
+        h = Histogram()
+        for v in (10, 20, 30, 40, 100):
+            h.add(v)
+        assert h.exact
+        assert h.quantile(0.0) == 10
+        assert h.quantile(0.25) == 20
+        assert h.quantile(0.5) == 30
+        assert h.quantile(1.0) == 100
+
+    def test_quantile_range_check(self):
+        with pytest.raises(ValueError):
+            Histogram().quantile(1.5)
+
+    def test_empty(self):
+        h = Histogram()
+        assert h.quantile(0.5) == 0.0
+        assert h.mean == 0.0
+        assert h.count == 0
+
+    def test_bounded_memory_beyond_sample_limit(self):
+        h = Histogram(sample_limit=16)
+        for v in range(1000):
+            h.add(v)
+        assert h.count == 1000
+        assert len(h.samples) == 16
+        assert not h.exact
+        assert h.min == 0 and h.max == 999
+
+    def test_bucket_quantile_monotone_and_in_range(self):
+        h = Histogram(sample_limit=4)
+        for v in range(1, 501):
+            h.add(v)
+        last = 0.0
+        for q in (0.1, 0.25, 0.5, 0.75, 0.9, 0.99):
+            val = h.quantile(q)
+            assert h.min <= val <= h.max
+            assert val >= last
+            last = val
+
+    def test_merge_requires_matching_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram(bounds=(1, 2)).merge(Histogram(bounds=(1, 4)))
+
+    def test_merge_accumulates(self):
+        a, b = Histogram(), Histogram()
+        a.add(5)
+        b.add(7, n=2)
+        a.merge(b)
+        assert a.count == 3
+        assert a.total == 19
+        assert a.min == 5 and a.max == 7
+
+    def test_pickle_roundtrip(self):
+        h = Histogram()
+        h.add(42)
+        assert pickle.loads(pickle.dumps(h)) == h
+
+    def test_snapshot_keys(self):
+        h = Histogram()
+        h.add(3)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "total", "min", "max", "mean", "p50", "p99", "buckets"}
+        assert snap["buckets"] == {"4": 1}
+
+
+class TestRegistry:
+    def test_flatten(self):
+        assert flatten({"a": {"b": 1}, "c": 2}) == {"a.b": 1, "c": 2}
+
+    def test_collect_namespaces_and_sources(self):
+        reg = MetricsRegistry()
+        c = Counter(3)
+        reg.register("ctr", c)
+        reg.register("fn", lambda: {"x": {"y": 1}})
+        reg.register("raw", {"z": 9})
+        out = reg.collect()
+        assert out == {"ctr.value": 3, "fn.x.y": 1, "raw.z": 9}
+
+    def test_rejects_dots_and_duplicates(self):
+        reg = MetricsRegistry()
+        reg.register("a", Counter())
+        with pytest.raises(ValueError):
+            reg.register("a", Counter())
+        with pytest.raises(ValueError):
+            reg.register("a.b", Counter())
+
+    def test_bad_source(self):
+        reg = MetricsRegistry()
+        reg.register("bad", 42)
+        with pytest.raises(TypeError):
+            reg.collect()

@@ -1,0 +1,195 @@
+"""StatsMixin contract tests + merge-associativity property over all stats types."""
+
+import copy
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import CacheStats
+from repro.cache.hierarchy import HierarchyStats
+from repro.cache.mshr import MSHRStats
+from repro.core.router import RouterStats
+from repro.core.stats import MACStats
+from repro.ddr.controller import ControllerStats
+from repro.ddr.device import DDRStats
+from repro.hbm.device import HBMStats
+from repro.hmc.stats import HMCStats
+from repro.hmc.vault import VaultStats
+from repro.node.core import CoreStats
+from repro.node.mt_core import MTCoreStats
+from repro.node.node import NodeStats
+from repro.node.system import SystemStats
+from repro.obs import Counter, Gauge, Histogram, StatsMixin, StatsProtocol, merge_all
+from repro.trace.analyzer import RowLocalityStats
+
+pytestmark = pytest.mark.obs
+
+#: Every StatsMixin adopter in the tree; the associativity property runs
+#: over each of them so a new stats class cannot silently break the
+#: parallel engine's chunked aggregation.
+STATS_CLASSES = [
+    CacheStats,
+    HierarchyStats,
+    MSHRStats,
+    RouterStats,
+    MACStats,
+    ControllerStats,
+    DDRStats,
+    HBMStats,
+    HMCStats,
+    VaultStats,
+    CoreStats,
+    MTCoreStats,
+    NodeStats,
+    SystemStats,
+    RowLocalityStats,
+]
+
+
+def _blank(cls):
+    """Instantiate ``cls`` supplying a value for any defaultless field."""
+    kwargs = {}
+    for f in dataclasses.fields(cls):
+        if (
+            f.default is dataclasses.MISSING
+            and f.default_factory is dataclasses.MISSING
+        ):
+            kwargs[f.name] = 4
+    return cls(**kwargs)
+
+
+def _randomise(draw, obj):
+    """Fill ``obj``'s fields with drawn values the merge rules accept.
+
+    Floats are drawn as small integers so float addition stays exact
+    (the associativity property is about the merge *policies*, not IEEE
+    rounding).
+    """
+    cls = type(obj)
+    for f in dataclasses.fields(cls):
+        name = f.name
+        if name in cls.MERGE_CONFIG:
+            continue
+        val = getattr(obj, name)
+        if isinstance(val, Histogram):
+            for v in draw(st.lists(st.integers(1, 500), max_size=4)):
+                val.add(v)
+        elif isinstance(val, Counter):
+            val.inc(draw(st.integers(0, 100)))
+        elif isinstance(val, Gauge):
+            val.set(float(draw(st.integers(0, 100))))
+        elif isinstance(val, dict):
+            extra = draw(
+                st.dictionaries(
+                    st.sampled_from(["a", "b", "c"]), st.integers(0, 20), max_size=3
+                )
+            )
+            for k, v in extra.items():
+                val[k] = val.get(k, 0) + v
+        elif isinstance(val, list):
+            val.extend(draw(st.lists(st.integers(0, 9), max_size=3)))
+        elif name in cls.MERGE_MIN_SENTINEL:
+            setattr(obj, name, draw(st.sampled_from([-1, 0, 3, 17, 250])))
+        elif isinstance(val, bool):
+            setattr(obj, name, draw(st.integers(0, 1)))
+        elif isinstance(val, float):
+            setattr(obj, name, float(draw(st.integers(0, 1000))))
+        elif isinstance(val, int):
+            setattr(obj, name, draw(st.integers(0, 1000)))
+    return obj
+
+
+@pytest.mark.parametrize("cls", STATS_CLASSES, ids=lambda c: c.__name__)
+def test_satisfies_protocol(cls):
+    obj = _blank(cls)
+    assert isinstance(obj, StatsProtocol)
+    snap = obj.snapshot()
+    assert isinstance(snap, dict)
+    for name in cls.SNAPSHOT_DERIVED:
+        assert name in snap
+
+
+@pytest.mark.parametrize("cls", STATS_CLASSES, ids=lambda c: c.__name__)
+@settings(max_examples=25, deadline=None)
+@given(data=st.data())
+def test_merge_is_associative(cls, data):
+    a, b, c = (_randomise(data.draw, _blank(cls)) for _ in range(3))
+
+    left = copy.deepcopy(a)
+    left.merge(copy.deepcopy(b))
+    left.merge(copy.deepcopy(c))
+
+    bc = copy.deepcopy(b)
+    bc.merge(copy.deepcopy(c))
+    right = copy.deepcopy(a)
+    right.merge(bc)
+
+    assert left.snapshot() == right.snapshot()
+
+
+@pytest.mark.parametrize("cls", STATS_CLASSES, ids=lambda c: c.__name__)
+def test_merge_identity(cls):
+    """Merging a fresh (all-defaults) instance changes nothing."""
+    obj = _blank(cls)
+    before = obj.snapshot()
+    obj.merge(_blank(cls))
+    assert obj.snapshot() == before
+
+
+def test_merge_rejects_other_types():
+    with pytest.raises(TypeError):
+        MACStats().merge(RouterStats())
+
+
+def test_min_sentinel_policy():
+    a, b = HMCStats(), HMCStats()
+    a.first_arrival = -1
+    b.first_arrival = 7
+    a.merge(b)
+    assert a.first_arrival == 7
+    c = HMCStats()
+    c.first_arrival = 3
+    a.merge(c)
+    assert a.first_arrival == 3
+    d = HMCStats()
+    d.first_arrival = -1
+    a.merge(d)
+    assert a.first_arrival == 3
+
+
+def test_merge_config_must_match_and_survives_reset():
+    a, b = RowLocalityStats(window=8), RowLocalityStats(window=16)
+    with pytest.raises(ValueError):
+        a.merge(b)
+    a.window_hits = 5
+    a.reset()
+    assert a.window == 8
+    assert a.window_hits == 0
+
+
+def test_merge_all_folds_and_validates():
+    parts = [MACStats() for _ in range(3)]
+    for i, p in enumerate(parts):
+        p.raw_requests = i + 1
+    total = merge_all(parts[1:], into=parts[0])
+    assert total is parts[0]
+    assert total.raw_requests == 6
+    with pytest.raises(ValueError):
+        merge_all([])
+
+
+def test_reset_restores_defaults():
+    s = MACStats()
+    s.raw_requests = 10
+    s.coalesced_packets = 4
+    s.packet_sizes[64] = 2
+    s.reset()
+    assert s.raw_requests == 0
+    assert s.coalesced_packets == 0
+    assert s.packet_sizes == {}
+
+
+def test_mixin_is_slot_free():
+    assert StatsMixin.__slots__ == ()

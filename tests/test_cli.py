@@ -59,3 +59,49 @@ class TestCommands:
     def test_unknown_benchmark_raises(self, tmp_path):
         with pytest.raises(KeyError):
             main(["trace", "NOPE", "-o", str(tmp_path / "x.trc")])
+
+    def test_run_with_observability_exports(self, tmp_path, capsys):
+        import json
+
+        trace_out = tmp_path / "events.json"
+        metrics_out = tmp_path / "metrics.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "IS",
+                    "--threads",
+                    "2",
+                    "--ops",
+                    "200",
+                    "--trace-out",
+                    str(trace_out),
+                    "--metrics-out",
+                    str(metrics_out),
+                ]
+            )
+            == 0
+        )
+        text = capsys.readouterr().out
+        assert "trace events" in text and "metrics" in text
+        doc = json.loads(trace_out.read_text())
+        assert doc["traceEvents"]
+        assert doc["otherData"]["dropped_events"] == 0
+        metrics = json.loads(metrics_out.read_text())
+        assert "mac.coalesced_packets" in metrics
+        assert any(k.startswith("device.") for k in metrics)
+
+    def test_run_jsonl_trace(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "events.jsonl"
+        assert (
+            main(["run", "IS", "--threads", "2", "--ops", "100", "--trace-out", str(out)])
+            == 0
+        )
+        first = json.loads(out.read_text().splitlines()[0])
+        assert {"cycle", "channel", "name"} <= set(first)
+
+    def test_run_without_outputs(self, capsys):
+        assert main(["run", "MG", "--threads", "2", "--ops", "100"]) == 0
+        assert "coalescing efficiency" in capsys.readouterr().out
