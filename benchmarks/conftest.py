@@ -5,13 +5,26 @@ Every bench runs its experiment exactly once under pytest-benchmark
 figure's *result*, not Python's runtime, so the timing is informative
 only.  Results are attached as ``extra_info`` (visible in
 ``--benchmark-verbose``/JSON output) and printed (visible with ``-s``).
+
+Additionally, every figure driver that goes through :func:`run_figure`
+leaves a machine-readable artifact ``BENCH_<name>.json`` (wall time +
+every ``attach``-ed key metric) in ``--bench-json-dir``, so CI can diff
+two runs with ``scripts/bench_compare.py`` and fail on wall-time
+regressions without parsing pytest-benchmark's full report format.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+import json
+import re
+import time
+from pathlib import Path
+from typing import Any, Callable, List
 
 import pytest
+
+#: Benchmark fixtures seen this session; dumped at session finish.
+_RESULTS: List[Any] = []
 
 
 def pytest_addoption(parser) -> None:
@@ -27,6 +40,15 @@ def pytest_addoption(parser) -> None:
         )
     except ValueError:
         pass
+    try:
+        parser.addoption(
+            "--bench-json-dir",
+            default=None,
+            help="directory for the BENCH_<name>.json artifacts "
+            "(wall time + key metrics per figure driver)",
+        )
+    except ValueError:
+        pass
 
 
 @pytest.fixture
@@ -37,8 +59,11 @@ def eval_jobs(request) -> int:
 
 def run_figure(benchmark, fn: Callable[[], Any], title: str) -> Any:
     """Execute a figure driver once under the benchmark fixture."""
+    t0 = time.perf_counter()
     result = benchmark.pedantic(fn, rounds=1, iterations=1)
     benchmark.extra_info["figure"] = title
+    benchmark.extra_info["wall_time_s"] = round(time.perf_counter() - t0, 4)
+    _RESULTS.append(benchmark)
     return result
 
 
@@ -48,3 +73,36 @@ def attach(benchmark, **values) -> None:
         if isinstance(value, float):
             value = round(value, 4)
         benchmark.extra_info[key] = value
+
+
+def _artifact_name(bench_name: str) -> str:
+    """``test_fig9_requests_per_cycle[x]`` -> ``BENCH_fig9_requests_per_cycle[x]``."""
+    name = re.sub(r"^test_", "", bench_name)
+    name = re.sub(r"[^A-Za-z0-9_.-]+", "_", name).strip("_")
+    return f"BENCH_{name}.json"
+
+
+def pytest_sessionfinish(session, exitstatus) -> None:
+    """Dump one BENCH_<name>.json per figure driver run this session.
+
+    Written at session finish (not per test) so ``attach`` calls made
+    after :func:`run_figure` returned are included.
+    """
+    if not _RESULTS:
+        return
+    opt = session.config.getoption("--bench-json-dir")
+    # Default next to this conftest, so the artifact location does not
+    # depend on the directory pytest was launched from.
+    out_dir = Path(opt) if opt else Path(__file__).parent / "results"
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for bench in _RESULTS:
+        info = dict(bench.extra_info)
+        artifact = {
+            "name": bench.name,
+            "wall_time_s": info.pop("wall_time_s", None),
+            "figure": info.pop("figure", None),
+            "metrics": info,
+        }
+        path = out_dir / _artifact_name(bench.name)
+        path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+    _RESULTS.clear()

@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bottleneck hunt: where do the cycles go as concurrency scales?
+
+Sweeps thread count over the closed-loop node (cores -> MAC -> HMC)
+with attribution enabled, with and without coalescing, and prints for
+every point the critical latency stage and the dominant stall cause.
+
+The sweep reproduces the paper's section 5.2 observation in stall-cause
+form: the uncoalesced baseline hammers the same DRAM rows with sixteen
+separate 16 B packets, so its stall profile is dominated by
+``bank_conflict`` cycles and the gap to the MAC grows with concurrency,
+while the MAC's coalescing collapses those row-mates into single
+packets before they can conflict.
+
+Run:  python examples/bottleneck_hunt.py
+"""
+
+from repro.eval.runner import attributed_node_run
+from repro.obs.analyze import build_report
+
+WORKLOAD = "HPCG"  # streaming row locality: plenty for the MAC to mine
+THREADS_SWEEP = (2, 4, 8)
+OPS_PER_THREAD = 600
+
+
+def hunt(threads: int, coalescing: bool):
+    """One sweep point: run the node, reduce to the headline numbers."""
+    attrib, node = attributed_node_run(
+        WORKLOAD,
+        threads=threads,
+        ops_per_thread=OPS_PER_THREAD,
+        coalescing=coalescing,
+    )
+    report = build_report(
+        attrib, meta={"threads": threads, "coalescing": coalescing}
+    )
+    top_site, top_cause, top_cycles = report["top_stalls"][0]
+    conflict_cycles = sum(
+        cycles
+        for _, cause, cycles in report["top_stalls"]
+        if cause == "bank_conflict"
+    )
+    return {
+        "cycles": node.cycle,
+        "mean_latency": report["end_to_end"]["mean"],
+        "critical_stage": report["critical_stage"],
+        "top_stall": f"{top_cause}@{top_site}",
+        "top_stall_cycles": top_cycles,
+        "bank_conflict_cycles": conflict_cycles,
+        "bank_conflicts": node.device.bank_conflicts,
+    }
+
+
+def main() -> None:
+    print(f"bottleneck hunt: {WORKLOAD}, {OPS_PER_THREAD} ops/thread\n")
+    header = (
+        f"{'threads':>7}  {'mode':<9}  {'cycles':>8}  {'mean lat':>9}  "
+        f"{'critical stage':<14}  {'dominant stall':<24}  {'conflict cy':>11}"
+    )
+    print(header)
+    print("-" * len(header))
+    rows = {}
+    for threads in THREADS_SWEEP:
+        for coalescing in (True, False):
+            mode = "mac" if coalescing else "baseline"
+            r = hunt(threads, coalescing)
+            rows[(threads, mode)] = r
+            print(
+                f"{threads:>7}  {mode:<9}  {r['cycles']:>8}  "
+                f"{r['mean_latency']:>9.1f}  {r['critical_stage']:<14}  "
+                f"{r['top_stall']:<24}  {r['bank_conflict_cycles']:>11}"
+            )
+
+    print()
+    for threads in THREADS_SWEEP:
+        mac = rows[(threads, "mac")]
+        base = rows[(threads, "baseline")]
+        ratio = (
+            base["bank_conflict_cycles"] / mac["bank_conflict_cycles"]
+            if mac["bank_conflict_cycles"]
+            else float("inf")
+        )
+        print(
+            f"{threads} threads: baseline burns {ratio:.1f}x the MAC's "
+            f"bank-conflict stall cycles "
+            f"({base['bank_conflicts']} vs {mac['bank_conflicts']} conflicts)"
+        )
+    print(
+        "\nsection 5.2 in stall-cause form: uncoalesced accesses hammer the "
+        "same rows\nwith separate 16 B packets, so bank conflicts dominate "
+        "the baseline's stall\nprofile; the MAC coalesces row-mates into "
+        "single packets before they conflict."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -8,8 +8,14 @@ Commands:
   without coalescing, and print the timing outcome;
 * ``run``      — run one benchmark through the cycle engine + device
   replay with observability: ``--trace-out`` writes a cycle-stamped
-  event trace (Chrome/Perfetto JSON, or JSONL for ``.jsonl`` paths) and
-  ``--metrics-out`` the flat namespaced metrics dict;
+  event trace (Chrome/Perfetto JSON, or JSONL for ``.jsonl`` paths),
+  ``--metrics-out`` the flat namespaced metrics dict, and
+  ``--attribution`` adds per-stage latency + stall-cause accounting to
+  the metrics;
+* ``analyze``  — bottleneck report: run a benchmark closed-loop with
+  attribution (or load a ``--metrics`` / ``--report-out`` artifact) and
+  print the per-stage latency table + top stall sites; ``--diff A B``
+  compares two saved reports;
 * ``figures``  — regenerate the paper's figures (fast or full scale);
 * ``info``     — print the Table 1 configuration and area report.
 """
@@ -205,10 +211,17 @@ def cmd_run(args) -> int:
     from pathlib import Path
 
     from repro.eval.runner import dispatch, replay_on_device
-    from repro.obs import NULL_TRACER, EventTracer
+    from repro.obs import NULL_ATTRIBUTION, NULL_TRACER, EventTracer
+    from repro.obs.attribution import AttributionCollector
+    from repro.obs.metrics import flatten
 
     tracer = (
         EventTracer(capacity=args.trace_capacity) if args.trace_out else NULL_TRACER
+    )
+    attrib = (
+        AttributionCollector()
+        if getattr(args, "attribution", False)
+        else NULL_ATTRIBUTION
     )
     disp = dispatch(
         args.benchmark,
@@ -219,9 +232,19 @@ def cmd_run(args) -> int:
         seed=_effective_seed(args),
         flit_policy=FlitTablePolicy(args.policy),
         tracer=tracer,
+        attrib=attrib,
     )
-    replay = replay_on_device(disp.packets, tracer=tracer)
+    replay = replay_on_device(
+        disp.packets,
+        tracer=tracer,
+        attrib=attrib,
+        # Attribution needs the device clock aligned with the MAC clock
+        # that stamped the dispatch marks (stages stay non-negative).
+        use_issue_cycles=attrib.enabled,
+    )
     metrics = {**disp.metrics(), **replay.metrics()}
+    if attrib.enabled:
+        metrics.update(flatten(attrib.snapshot(), "attribution."))
     print(
         format_table(
             ["metric", "value"],
@@ -256,6 +279,73 @@ def cmd_run(args) -> int:
             json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str)
         )
         print(f"wrote {len(clean)} metrics to {args.metrics_out}")
+    return 0
+
+
+def cmd_analyze(args) -> int:
+    import json
+    from pathlib import Path
+
+    from repro.obs.analyze import (
+        build_report,
+        diff_reports,
+        format_diff,
+        format_report,
+        load_report,
+    )
+
+    if args.diff:
+        a, b = (load_report(p) for p in args.diff)
+        diff = diff_reports(a, b)
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True, default=str))
+        else:
+            print(format_diff(diff))
+        return 0
+
+    if args.metrics:
+        report = load_report(args.metrics)
+        title = f"bottleneck report ({args.metrics})"
+    elif args.benchmark:
+        from repro.eval.runner import attributed_node_run
+
+        seed = _effective_seed(args)
+        attrib, node = attributed_node_run(
+            args.benchmark,
+            threads=args.threads,
+            ops_per_thread=args.ops,
+            seed=seed,
+            coalescing=not args.no_mac,
+            config=_mac_config(args),
+        )
+        report = build_report(
+            attrib,
+            meta={
+                "benchmark": args.benchmark,
+                "threads": args.threads,
+                "ops_per_thread": args.ops,
+                "seed": seed,
+                "coalescing": not args.no_mac,
+                "cycles": node.cycle,
+            },
+        )
+        title = f"bottleneck report ({args.benchmark})"
+    else:
+        print(
+            "analyze needs a benchmark name, --metrics FILE, or --diff A B",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.report_out:
+        Path(args.report_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True, default=str)
+        )
+        print(f"wrote report to {args.report_out}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_report(report, title))
     return 0
 
 
@@ -402,7 +492,53 @@ def build_parser() -> argparse.ArgumentParser:
         default=65536,
         help="event ring-buffer size (oldest events drop beyond it)",
     )
+    obs.add_argument(
+        "--attribution",
+        action="store_true",
+        help="collect per-stage latency + stall causes; the breakdown "
+        "lands under attribution.* in --metrics-out (readable by "
+        "`repro analyze --metrics`)",
+    )
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser(
+        "analyze",
+        help="bottleneck report: per-stage latency breakdown + stall causes",
+    )
+    p.add_argument(
+        "benchmark",
+        nargs="?",
+        default=None,
+        help="benchmark to run closed-loop with attribution "
+        "(omit when using --metrics or --diff)",
+    )
+    p.add_argument("--threads", type=int, default=8)
+    p.add_argument("--ops", type=int, default=2000, help="ops per thread")
+    p.add_argument("--seed", type=int, default=DEFAULT_SEED)
+    p.add_argument(
+        "--no-mac",
+        action="store_true",
+        help="analyze the uncoalesced baseline (1-entry ARQ) instead",
+    )
+    _add_mac_args(p)
+    p.add_argument(
+        "--metrics",
+        default=None,
+        help="read attribution.* from a `repro run --attribution "
+        "--metrics-out` file instead of running",
+    )
+    p.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="compare two saved reports/metrics files (A = before)",
+    )
+    p.add_argument("--json", action="store_true", help="emit JSON, not tables")
+    p.add_argument(
+        "--report-out", default=None, help="also write the report JSON here"
+    )
+    p.set_defaults(func=cmd_analyze)
 
     p = sub.add_parser("figures", help="regenerate paper figures (summary)")
     p.add_argument("--fast", action="store_true")

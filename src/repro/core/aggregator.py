@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import List, Optional
 
+from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.tracer import NULL_TRACER
 from .address import AddressCodec
 from .arq import AggregatedRequestQueue
@@ -33,10 +34,12 @@ class RawRequestAggregator:
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         stats: Optional[MACStats] = None,
         tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
     ) -> None:
         self.config = config
         self.codec = codec or AddressCodec(config)
         self.tracer = tracer
+        self.attrib = attrib
         self.arq = AggregatedRequestQueue(config, self.codec, tracer=tracer)
         self.builder = RequestBuilder(config, self.codec, policy)
         self.stats = stats if stats is not None else MACStats()
@@ -68,6 +71,12 @@ class RawRequestAggregator:
         cycle = self._cycle
         out: List[CoalescedRequest] = []
         self._accepted_last = True
+        at = self.attrib
+        if at.enabled and not cycle & 63:
+            # Per-cycle occupancy, pre-gated to every 64th cycle so the
+            # hot tick path pays one bitmask check; the bounded sampler
+            # decimates further on long runs.
+            at.sample_depth("arq", cycle, len(self.arq))
 
         # Builder pipeline advances first (emits packets built previously).
         out.extend(self.builder.tick(cycle))
@@ -97,6 +106,12 @@ class RawRequestAggregator:
                         "arq", "pop", cycle, kind="bypass",
                         residency=cycle - entry.alloc_cycle,
                     )
+                if at.enabled:
+                    for req in entry.requests:
+                        m = req.marks
+                        if m is None:
+                            m = req.marks = {}
+                        m["arq_pop"] = cycle
             elif self.builder.can_accept():
                 entry = self.arq.pop()
                 assert entry is not None
@@ -113,7 +128,18 @@ class RawRequestAggregator:
                         stage1=self.builder.stage1_busy,
                         stage2=self.builder.stage2_busy,
                     )
-            # else: builder back-pressure; retry next cycle.
+                if at.enabled:
+                    for req in entry.requests:
+                        m = req.marks
+                        if m is None:
+                            m = req.marks = {}
+                        m["arq_pop"] = cycle
+            else:
+                # Builder back-pressure; retry next cycle.
+                if at.enabled:
+                    at.stall_span(
+                        "builder", StallCause.BUILDER_BUSY, cycle, cycle + 1
+                    )
 
         # Intake: one request per cycle.
         if incoming is not None:
@@ -121,9 +147,23 @@ class RawRequestAggregator:
             self._accepted_last = accepted
             if accepted:
                 self.stats.record_raw(incoming.rtype)
+                if at.enabled:
+                    m = incoming.marks
+                    if m is None:
+                        m = incoming.marks = {}
+                    m["arq_admit"] = cycle
 
         for pkt in out:
             self.stats.record_packet(pkt)
+        if at.enabled and out:
+            # Inlined AttributionCollector.mark (hot: every dispatched
+            # raw request passes through here).
+            for pkt in out:
+                for req in pkt.requests:
+                    m = req.marks
+                    if m is None:
+                        m = req.marks = {}
+                    m["dispatch"] = cycle
 
         self._cycle += 1
         self.stats.total_cycles = self._cycle

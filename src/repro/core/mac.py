@@ -17,6 +17,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, List, Optional
 
+from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
 from .address import AddressCodec
@@ -56,15 +57,18 @@ class MAC:
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         queue_capacity: int = 64,
         tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
     ) -> None:
         self.config = config or MACConfig()
         self.codec = AddressCodec(self.config)
         self.stats = MACStats()
         self.tracer = tracer
+        self.attrib = attrib
         self.request_router = RequestRouter(node_id, home_fn, queue_capacity)
         self.response_router = ResponseRouter(node_id)
         self.aggregator = RawRequestAggregator(
-            self.config, self.codec, policy, self.stats, tracer=tracer
+            self.config, self.codec, policy, self.stats, tracer=tracer,
+            attrib=attrib,
         )
 
     # -- stats wiring -------------------------------------------------------
@@ -103,11 +107,30 @@ class MAC:
 
     def submit(self, request: MemoryRequest) -> bool:
         """Offer one locally generated raw request (False if queue full)."""
-        return self.request_router.route(request)
+        ok = self.request_router.route(request)
+        if self.attrib.enabled:
+            cycle = self.aggregator.cycle
+            if ok:
+                # Inlined AttributionCollector.mark (hot: every issued
+                # request, including core retries after back-pressure).
+                m = request.marks
+                if m is None:
+                    m = request.marks = {}
+                m["submit"] = cycle
+            else:
+                # Span-charged so several cores bouncing in one cycle
+                # still cost the site at most one stall cycle.
+                self.attrib.stall_span(
+                    "router", StallCause.INPUT_QUEUE_FULL, cycle, cycle + 1
+                )
+        return ok
 
     def submit_remote(self, request: MemoryRequest) -> bool:
         """Offer one raw request arriving from a remote node."""
-        return self.request_router.receive_remote(request)
+        ok = self.request_router.receive_remote(request)
+        if ok and self.attrib.enabled:
+            self.attrib.mark(request, "submit", self.aggregator.cycle)
+        return ok
 
     # -- clocking ----------------------------------------------------------
 
@@ -125,8 +148,23 @@ class MAC:
     def tick(self) -> List[CoalescedRequest]:
         """Advance one cycle; returns packets dispatched to the device."""
         incoming = None
-        if not self.aggregator.arq.full:
+        arq = self.aggregator.arq
+        if not arq.full:
             incoming = self.request_router.next_for_mac()
+        elif self.attrib.enabled and not (
+            self.request_router.local_queue.empty
+            and self.request_router.remote_queue.empty
+        ):
+            # A request is waiting but every ARQ entry is occupied: one
+            # stall cycle, attributed to the pending fence when the
+            # drain is what keeps the queue full.
+            cycle = self.aggregator.cycle
+            cause = (
+                StallCause.FENCE_DRAIN
+                if not arq.comparators_enabled
+                else StallCause.ARQ_FULL
+            )
+            self.attrib.stall_span("arq", cause, cycle, cycle + 1)
         return self.aggregator.tick(incoming)
 
     def run(self, max_cycles: int = 100_000_000) -> List[CoalescedRequest]:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
+from typing import Dict, Optional
 
 
 class RequestType(enum.IntEnum):
@@ -110,6 +111,12 @@ class MemoryRequest:
     #: Set by the response router when the satisfying response carried
     #: poisoned (invalid) data; the consumer must not trust the value.
     poisoned: bool = field(default=False, compare=False)
+    #: Boundary-crossing cycle stamps written by an
+    #: :class:`repro.obs.attribution.AttributionCollector` (``mark ->
+    #: absolute cycle``); ``None`` whenever attribution is disabled.
+    marks: Optional[Dict[str, int]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def is_fence(self) -> bool:

@@ -22,6 +22,7 @@ from repro.core.packet import CoalescedRequest
 from repro.core.stats import MACStats
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
+from repro.obs.attribution import NULL_ATTRIBUTION, AttributionCollector
 from repro.obs.metrics import flatten
 from repro.obs.tracer import NULL_TRACER
 from repro.seeding import DEFAULT_SEED
@@ -169,13 +170,15 @@ def dispatch(
     seed: int = DEFAULT_SEED,
     flit_policy: FlitTablePolicy = FlitTablePolicy.SPAN,
     tracer=NULL_TRACER,
+    attrib=NULL_ATTRIBUTION,
 ) -> DispatchResult:
     """Run one benchmark trace through a dispatch policy.
 
     policy: "mac" (window engine), "mac-cycle" (cycle engine), "raw"
     (direct 16 B dispatch).  ``tracer`` records cycle-stamped ARQ/builder
     events for the cycle engine (the window and raw engines are not
-    clocked, so they emit nothing).
+    clocked, so they emit nothing); ``attrib`` likewise collects stage
+    stamps and stall causes from the cycle engine only.
     """
     trace = cached_trace(name, threads, ops_per_thread, seed)
     requests = list(to_requests(trace))
@@ -183,7 +186,7 @@ def dispatch(
     if policy == "mac":
         packets = coalesce_trace_fast(requests, config, flit_policy, stats)
     elif policy == "mac-cycle":
-        mac = MAC(config, policy=flit_policy, tracer=tracer)
+        mac = MAC(config, policy=flit_policy, tracer=tracer, attrib=attrib)
         mac.attach_stats(stats)
         packets = mac.process(requests)
     elif policy == "raw":
@@ -214,13 +217,21 @@ def replay_on_device(
     cycles_per_packet: float = 0.0,
     hmc: Optional[HMCConfig] = None,
     tracer=NULL_TRACER,
+    attrib=NULL_ATTRIBUTION,
+    use_issue_cycles: bool = False,
 ) -> ReplayResult:
     """Feed packets into a fresh device at the MAC's issue cadence.
 
     With ``cycles_per_packet`` = 0 (default) the MAC's fixed issue rate
     applies: one packet every ``pop_interval`` = 2 cycles (section 4.4).
     A positive value forces another cadence (1.0 models raw dispatch at
-    the interface's 1-request/cycle accept rate).
+    the interface's 1-request/cycle accept rate).  With
+    ``use_issue_cycles`` packets instead arrive at their own
+    ``issue_cycle`` stamps — the attribution path needs this so the
+    device clock matches the MAC clock that stamped the ``dispatch``
+    mark and the per-stage deltas stay non-negative.  When ``attrib``
+    is enabled each packet's raw requests are finalized after service,
+    so open-loop runs aggregate submit->complete breakdowns.
 
     Note the structural consequence, visible on low-coalescing traces
     (e.g. IS): a MAC that eliminates fewer than half the raw requests
@@ -229,11 +240,17 @@ def replay_on_device(
     """
     if cycles_per_packet < 0:
         raise ValueError("cadence must be non-negative")
-    dev = HMCDevice(hmc, tracer=tracer)
+    dev = HMCDevice(hmc, tracer=tracer, attrib=attrib)
     t = 0.0
     for pkt in packets:
+        if use_issue_cycles:
+            t = max(t, float(pkt.issue_cycle))
         dev.submit(pkt, int(t))
-        t += cycles_per_packet if cycles_per_packet > 0 else 2.0
+        if attrib.enabled:
+            for raw in pkt.requests:
+                attrib.finalize(raw)
+        if not use_issue_cycles:
+            t += cycles_per_packet if cycles_per_packet > 0 else 2.0
     st = dev.stats
     return ReplayResult(
         makespan=st.makespan,
@@ -259,3 +276,42 @@ def compare_policies(
         "raw": replay_on_device(raw.packets, cycles_per_packet=1.0),
         "mac": replay_on_device(mac.packets),
     }
+
+
+def attributed_node_run(
+    name: str,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    seed: int = DEFAULT_SEED,
+    coalescing: bool = True,
+    config: Optional[MACConfig] = None,
+    hmc: Optional[HMCConfig] = None,
+    attrib: Optional[AttributionCollector] = None,
+):
+    """Closed-loop node run of one benchmark with attribution enabled.
+
+    Builds per-core request streams from the benchmark trace, runs the
+    full Fig. 4 node (cores -> MAC -> device -> response delivery), and
+    returns ``(attrib, node)``.  This is the richest attribution source:
+    all nine boundary marks are crossed, so every stage of the breakdown
+    is populated and the exactness invariant covers the complete path.
+    With ``coalescing=False`` the node runs the paper's uncoalesced
+    baseline (1-entry ARQ, everything 16 B) for A/B bottleneck diffs.
+    """
+    from repro.core.config import SystemConfig
+    from repro.node.node import Node
+
+    trace = cached_trace(name, threads, ops_per_thread, seed)
+    per_core: Dict[int, List] = {}
+    for req in to_requests(trace):
+        per_core.setdefault(req.core, []).append(req)
+    at = attrib if attrib is not None else AttributionCollector()
+    node = Node(
+        [iter(reqs) for _, reqs in sorted(per_core.items())],
+        system=SystemConfig(mac=config) if config is not None else None,
+        coalescing_enabled=coalescing,
+        hmc_config=hmc,
+        attrib=at,
+    )
+    node.run()
+    return at, node

@@ -33,6 +33,7 @@ from typing import List, Optional
 from repro.core.packet import CoalescedRequest, CoalescedResponse
 from repro.faults.injector import FaultInjector
 from repro.faults.stats import FaultStats
+from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
 
@@ -54,16 +55,21 @@ class HMCDevice:
         assert resp.complete_cycle > 100
     """
 
-    def __init__(self, config: Optional[HMCConfig] = None, tracer=NULL_TRACER) -> None:
+    def __init__(
+        self, config: Optional[HMCConfig] = None, tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
+    ) -> None:
         self.config = config or HMCConfig()
         self.tracer = tracer
+        self.attrib = attrib
         self.links: List[Link] = [
-            Link(i, self.config.timing, tracer=tracer)
+            Link(i, self.config.timing, tracer=tracer, attrib=attrib)
             for i in range(self.config.links)
         ]
         self.crossbar = Crossbar(self.config.timing)
         self.vaults: List[Vault] = [
-            Vault(i, self.config, tracer=tracer) for i in range(self.config.vaults)
+            Vault(i, self.config, tracer=tracer, attrib=attrib)
+            for i in range(self.config.vaults)
         ]
         self.stats = HMCStats()
         self._last_arrival = 0
@@ -142,6 +148,19 @@ class HMCDevice:
         complete += delay
 
         self._record(request, wire, arrival, complete, conflicts_delta)
+        at = self.attrib
+        if at.enabled:
+            # Inlined AttributionCollector.mark: four stamps per raw
+            # request make this the hottest attribution site.
+            dispatched = vault.last_dispatched
+            for raw in request.requests:
+                m = raw.marks
+                if m is None:
+                    m = raw.marks = {}
+                m["vault_arrive"] = at_vault
+                m["bank_dispatch"] = dispatched
+                m["data_ready"] = data_ready
+                m["complete"] = complete
         if dropped:
             return None
         return CoalescedResponse(

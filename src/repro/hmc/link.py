@@ -33,6 +33,7 @@ from bisect import insort
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.tracer import NULL_TRACER
 from .timing import HMCTiming
 
@@ -164,6 +165,10 @@ class LinkChannel:
     retry: Optional[RetryState] = None
     #: Event tracer (the no-op singleton unless a run attaches one).
     tracer: object = NULL_TRACER
+    #: Attribution collector (no-op singleton unless a run attaches one).
+    attrib: object = NULL_ATTRIBUTION
+    #: Stall-site label, e.g. ``link0.req`` (set by :class:`Link`).
+    site: str = "link"
 
     def transmit(self, arrival: int, nflits: int) -> int:
         """Serialize ``nflits`` starting no earlier than ``arrival``.
@@ -183,6 +188,8 @@ class LinkChannel:
         self.flits += nflits
         self.packets += 1
         self.busy_cycles += ser
+        if self.attrib.enabled and start > arrival:
+            self.attrib.stall_span(self.site, StallCause.LINK_BUSY, arrival, start)
         return start + ser + self.timing.link_latency
 
     def _transmit_reliable(self, arrival: int, nflits: int) -> int:
@@ -205,6 +212,15 @@ class LinkChannel:
         start = rs.tokens.acquire(start0, nflits)
         start = rs.retry_buffer.acquire(start, nflits)
         rs.stall_cycles += start - start0
+        at = self.attrib
+        if at.enabled:
+            if start0 > arrival:
+                at.stall_span(self.site, StallCause.LINK_BUSY, arrival, start0)
+            if start > start0:
+                at.stall_span(
+                    self.site, StallCause.LINK_TOKENS_EXHAUSTED, start0, start
+                )
+            at.sample_depth(f"{self.site}_tokens", start, rs.tokens.available)
 
         seq = rs.next_seq
         rs.next_seq += 1
@@ -278,6 +294,13 @@ class LinkChannel:
             t = arrive + lat + _backoff(cfg.backoff_base, failures)
 
         self.ready_cycle = max(self.ready_cycle, ser_end)
+        if at.enabled:
+            # Extra wire time past the fault-free first landing is replay.
+            first_arrive = start + nflits * cpf + lat
+            if delivered_at > first_arrive:
+                at.stall_span(
+                    self.site, StallCause.RETRY_REPLAY, first_arrive, delivered_at
+                )
         # Receiver frees its input tokens once the packet is consumed;
         # the sender frees retry-buffer space when the ACK lands.
         rs.tokens.release(delivered_at, nflits)
@@ -293,10 +316,20 @@ def _backoff(base: int, failures: int) -> int:
 class Link:
     """Full-duplex link: independent request/response channels."""
 
-    def __init__(self, index: int, timing: HMCTiming, tracer=NULL_TRACER) -> None:
+    def __init__(
+        self, index: int, timing: HMCTiming, tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
+    ) -> None:
         self.index = index
-        self.request = LinkChannel(timing, tracer=tracer)
-        self.response = LinkChannel(timing, tracer=tracer)
+        # Underscore site names: stall sites become metrics keys under
+        # ``attribution.stalls.<site>.<cause>`` and must stay one dotted
+        # path segment.
+        self.request = LinkChannel(
+            timing, tracer=tracer, attrib=attrib, site=f"link{index}_req"
+        )
+        self.response = LinkChannel(
+            timing, tracer=tracer, attrib=attrib, site=f"link{index}_rsp"
+        )
 
     @property
     def wire_flits(self) -> int:

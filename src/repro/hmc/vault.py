@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.protocol import StatsMixin
 from ..obs.tracer import NULL_TRACER
 from .bank import Bank
@@ -31,16 +32,23 @@ class VaultStats(StatsMixin):
 class Vault:
     """One vault: front-end queue + banks."""
 
-    def __init__(self, index: int, config: HMCConfig, tracer=NULL_TRACER) -> None:
+    def __init__(
+        self, index: int, config: HMCConfig, tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
+    ) -> None:
         self.index = index
         self.config = config
         self.timing: HMCTiming = config.timing
         self.tracer = tracer
+        self.attrib = attrib
         self.banks: List[Bank] = [
             Bank(self.timing) for _ in range(config.banks_per_vault)
         ]
         #: Cycle at which the controller front-end frees up.
         self.frontend_ready = 0
+        #: Bank-dispatch cycle of the most recent :meth:`access` (the
+        #: device reads it to stamp the ``bank_dispatch`` mark).
+        self.last_dispatched = 0
         self.stats = VaultStats()
 
     def access(
@@ -65,9 +73,23 @@ class Vault:
         st.queue_wait_cycles += start - arrival
         self.frontend_ready = start + self.timing.vault_processing
         dispatched = start + self.timing.vault_processing
+        self.last_dispatched = dispatched
 
         bank = self.banks[bank_idx]
         conflicts_before = bank.conflicts
+        at = self.attrib
+        if at.enabled:
+            if start > arrival:
+                at.stall_span(
+                    "vault", StallCause.VAULT_QUEUE_FULL, arrival, start
+                )
+            if bank.ready_cycle > dispatched:
+                at.stall_span(
+                    "bank", StallCause.BANK_CONFLICT, dispatched, bank.ready_cycle
+                )
+            at.sample_depth(
+                "vault_backlog", arrival, max(0, self.frontend_ready - arrival)
+            )
         done = bank.access(dispatched, dram_row, columns)
         st.service_cycles += done - arrival
         if self.tracer.enabled:

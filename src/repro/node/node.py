@@ -20,6 +20,7 @@ from repro.core.mac import MAC
 from repro.core.request import MemoryRequest
 from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
+from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import flatten
 from repro.obs.protocol import StatsMixin
 from repro.obs.tracer import NULL_TRACER
@@ -70,10 +71,12 @@ class Node:
         coalescing_enabled: bool = True,
         spm_factory: Optional[Callable[[int], ScratchpadMemory]] = None,
         tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
     ) -> None:
         self.system = system or SystemConfig()
         self.node_id = node_id
         self.tracer = tracer
+        self.attrib = attrib
         #: With coalescing disabled the MAC degenerates to a 1-entry ARQ
         #: with no latency hiding: every request ships as a 16 B packet
         #: (the paper's "without MAC" baseline).
@@ -82,8 +85,10 @@ class Node:
             if coalescing_enabled
             else MACConfig(arq_entries=1, latency_hiding=False)
         )
-        self.mac = MAC(mac_cfg, node_id=node_id, policy=policy, tracer=tracer)
-        self.device = HMCDevice(hmc_config, tracer=tracer)
+        self.mac = MAC(
+            mac_cfg, node_id=node_id, policy=policy, tracer=tracer, attrib=attrib
+        )
+        self.device = HMCDevice(hmc_config, tracer=tracer, attrib=attrib)
         self.cores: List[InOrderCore] = []
         for cid, stream in enumerate(streams):
             spm = (
@@ -147,7 +152,15 @@ class Node:
             self.mac.receive_response(resp)
         local, remote = self.mac.deliver_responses()
         self.pending_remote.extend(remote)
+        at = self.attrib
         for target, raw in local:
+            if at.enabled:
+                # Inlined AttributionCollector.mark (hot: every response).
+                m = raw.marks
+                if m is None:
+                    m = raw.marks = {}
+                m["deliver"] = cycle
+                at.finalize(raw)
             # The issuing core usually matches raw.core, but multithreaded
             # cores may host the thread elsewhere: fall back to scanning.
             first = raw.core % len(self.cores)
@@ -201,6 +214,7 @@ class Node:
         system: Optional[SystemConfig] = None,
         hmc_config: Optional[HMCConfig] = None,
         coalescing_enabled: bool = True,
+        attrib=NULL_ATTRIBUTION,
         **core_kwargs,
     ) -> "Node":
         """Build a node whose cores temporally multithread (section 3).
@@ -217,6 +231,7 @@ class Node:
             system=system,
             hmc_config=hmc_config,
             coalescing_enabled=coalescing_enabled,
+            attrib=attrib,
         )
         groups: List[List[Iterator[MemoryRequest]]] = [[] for _ in range(cores)]
         for i, stream in enumerate(thread_streams):

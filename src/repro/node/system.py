@@ -16,6 +16,7 @@ from typing import Iterator, List, Optional, Sequence
 
 from repro.core.config import SystemConfig
 from repro.core.request import MemoryRequest
+from repro.obs.attribution import NULL_ATTRIBUTION, StallCause
 from repro.obs.protocol import StatsMixin
 
 from repro.obs.metrics import flatten
@@ -66,11 +67,13 @@ class NUMASystem:
         interleave_bytes: int = 1 << 12,
         hmc_config=None,
         tracer=NULL_TRACER,
+        attrib=NULL_ATTRIBUTION,
     ) -> None:
         n = len(streams_per_node)
         if n < 1:
             raise ValueError("need at least one node")
         self.tracer = tracer
+        self.attrib = attrib
         self.home = interleaved_home(n, interleave_bytes)
         self.nodes: List[Node] = []
         for nid, streams in enumerate(streams_per_node):
@@ -80,6 +83,7 @@ class NUMASystem:
                 hmc_config=hmc_config,
                 node_id=nid,
                 tracer=tracer,
+                attrib=attrib,
             )
             # Rewire the request router with the shared home function.
             node.mac.request_router.home_fn = self.home
@@ -100,6 +104,7 @@ class NUMASystem:
 
         # Fabric deliveries: raw requests into remote queues, response
         # payloads back to the requesting core.
+        at = self.attrib
         for dst, payload in self.fabric.deliver(cycle):
             node = self.nodes[dst]
             if isinstance(payload, MemoryRequest):
@@ -107,11 +112,24 @@ class NUMASystem:
                     # Remote queue full: bounce back onto the fabric with
                     # a retry delay (simple NACK protocol).
                     self.fabric.send(cycle, dst, payload)
+                    if at.enabled:
+                        at.stall_span(
+                            "fabric",
+                            StallCause.RESPONSE_BACKPRESSURE,
+                            cycle,
+                            cycle + 1,
+                        )
             else:  # (target, raw) completion pair heading home
                 target, raw = payload
                 core = node.cores[raw.core % len(node.cores)]
                 core.complete(target.tid, target.tag, cycle)
                 self.stats.responses += 1
+                if at.enabled:
+                    m = raw.marks
+                    if m is None:
+                        m = raw.marks = {}
+                    m["deliver"] = cycle
+                    at.finalize(raw)
 
         # Per-node progress, with remote routing.
         for node in self.nodes:

@@ -11,9 +11,23 @@ on (DESIGN.md section 9):
   making parallel-eval workers mergeable by construction;
 * :class:`EventTracer` / :data:`NULL_TRACER` — cycle-stamped structured
   event traces with Chrome-trace (Perfetto) and JSONL export, off by
-  default with a bit-identical no-op path.
+  default with a bit-identical no-op path;
+* :class:`AttributionCollector` / :data:`NULL_ATTRIBUTION` — per-request
+  latency breakdown (stage stamps whose deltas sum exactly to
+  end-to-end latency), the :class:`StallCause` taxonomy of
+  ``stall_cycles{site,cause}`` counters, and strided queue-depth
+  sampling; consumed by ``repro analyze`` bottleneck reports.
 """
 
+from .attribution import (
+    NULL_ATTRIBUTION,
+    STAGES,
+    AttributionCollector,
+    DepthSampler,
+    NullAttribution,
+    StallCause,
+    request_breakdown,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -25,6 +39,13 @@ from .protocol import StatsMixin, StatsProtocol, merge_all
 from .tracer import NULL_TRACER, EventTracer, NullTracer
 
 __all__ = [
+    "AttributionCollector",
+    "DepthSampler",
+    "NullAttribution",
+    "NULL_ATTRIBUTION",
+    "STAGES",
+    "StallCause",
+    "request_breakdown",
     "Counter",
     "Gauge",
     "Histogram",

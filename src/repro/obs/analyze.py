@@ -1,0 +1,341 @@
+"""Bottleneck reports over attribution data (the ``repro analyze`` core).
+
+Turns an :class:`~repro.obs.attribution.AttributionCollector` (or a
+previously exported metrics/report JSON file) into a *bottleneck
+report*: the per-stage latency table, the top stall ``(site, cause)``
+pairs, the critical stage, and the exactness check that the stage sums
+reproduce end-to-end latency cycle for cycle.  A diff mode compares two
+reports for A/B (before/after) analysis.
+
+The report is a plain JSON-serializable dict — the CLI renders it as
+text tables, scripts consume it as JSON, and ``diff_reports`` works on
+any two of them regardless of origin (live run, ``--report-out`` file,
+or a ``--metrics-out`` file whose flat ``attribution.*`` keys are
+re-nested here).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from .attribution import STAGES, AttributionCollector
+
+__all__ = [
+    "build_report",
+    "report_from_metrics",
+    "load_report",
+    "diff_reports",
+    "format_report",
+    "format_diff",
+]
+
+#: Stage-histogram fields carried through reports and diffs.
+_STAGE_FIELDS = ("count", "total", "mean", "p50", "p95", "p99", "max")
+
+
+def build_report(
+    attrib: AttributionCollector, meta: Optional[Dict[str, Any]] = None
+) -> Dict[str, Any]:
+    """Bottleneck report dict over one collector's aggregates."""
+    stages = attrib.stage_table()
+    stage_total = sum(attrib.stage_cycles.values())
+    end_total = attrib.end_to_end.total
+    shares = {
+        stage: (row["total"] / stage_total if stage_total else 0.0)
+        for stage, row in stages.items()
+    }
+    for stage, row in stages.items():
+        row["share"] = shares[stage]
+    critical = max(STAGES, key=lambda s: stages[s]["total"]) if stage_total else None
+    top = sorted(
+        (
+            (site, cause, cycles)
+            for site, causes in attrib.stalls.items()
+            for cause, cycles in causes.items()
+        ),
+        key=lambda item: (-item[2], item[0], item[1]),
+    )
+    return {
+        "meta": dict(meta or {}),
+        "requests": attrib.finalized,
+        "incomplete": attrib.incomplete,
+        "end_to_end": attrib._hist_summary(attrib.end_to_end),
+        "stages": stages,
+        "stage_cycle_sum": stage_total,
+        "exact": stage_total == end_total,
+        "critical_stage": critical,
+        "stalls": {site: dict(c) for site, c in attrib.stalls.items()},
+        "top_stalls": [list(t) for t in top],
+        "depth": attrib.depth.snapshot(),
+    }
+
+
+def report_from_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
+    """Rebuild a report from a flat ``--metrics-out`` style dict.
+
+    Accepts the dotted-key namespace written by ``repro run
+    --attribution --metrics-out`` (``attribution.stages.<stage>.<field>``
+    etc.); raises ``ValueError`` when the file carries no attribution
+    keys (i.e. the run had attribution disabled).
+    """
+    prefix = "attribution."
+    nested: Dict[str, Any] = {}
+    for key, value in metrics.items():
+        if not key.startswith(prefix):
+            continue
+        parts = key[len(prefix):].split(".")
+        node = nested
+        for part in parts[:-1]:
+            node = node.setdefault(part, {})
+        node[parts[-1]] = value
+    if not nested:
+        raise ValueError(
+            "no attribution.* keys found — was the run made with "
+            "attribution enabled (repro run --attribution / repro analyze)?"
+        )
+    stages: Dict[str, Dict[str, Any]] = {
+        stage: dict(nested.get("stages", {}).get(stage, {})) for stage in STAGES
+    }
+    stage_cycles = nested.get("stage_cycles", {})
+    stage_total = sum(stage_cycles.get(stage, 0) for stage in STAGES)
+    for stage, row in stages.items():
+        row.setdefault("total", stage_cycles.get(stage, 0))
+        row["share"] = row["total"] / stage_total if stage_total else 0.0
+    end = dict(nested.get("end_to_end", {}))
+    critical = (
+        max(STAGES, key=lambda s: stages[s].get("total", 0)) if stage_total else None
+    )
+    stalls: Dict[str, Dict[str, int]] = {
+        site: dict(causes) for site, causes in nested.get("stalls", {}).items()
+    }
+    top = sorted(
+        (
+            (site, cause, cycles)
+            for site, causes in stalls.items()
+            for cause, cycles in causes.items()
+        ),
+        key=lambda item: (-item[2], item[0], item[1]),
+    )
+    return {
+        "meta": {"source": "metrics"},
+        "requests": nested.get("requests_finalized", 0),
+        "incomplete": nested.get("requests_incomplete", 0),
+        "end_to_end": end,
+        "stages": stages,
+        "stage_cycle_sum": stage_total,
+        "exact": stage_total == end.get("total", -1),
+        "critical_stage": critical,
+        "stalls": stalls,
+        "top_stalls": [list(t) for t in top],
+        "depth": nested.get("depth", {}),
+    }
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report from a ``--report-out`` or ``--metrics-out`` file."""
+    data = json.loads(Path(path).read_text())
+    if not isinstance(data, dict):
+        raise ValueError(f"{path}: expected a JSON object")
+    if "stages" in data and "end_to_end" in data:
+        return data
+    return report_from_metrics(data)
+
+
+# -- diff -------------------------------------------------------------------
+
+
+def _rel(before: float, after: float) -> Optional[float]:
+    if not before:
+        return None
+    return (after - before) / before
+
+
+def diff_reports(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Structured A→B comparison of two bottleneck reports."""
+    stages: Dict[str, Dict[str, Any]] = {}
+    for stage in STAGES:
+        row_a = a.get("stages", {}).get(stage, {})
+        row_b = b.get("stages", {}).get(stage, {})
+        row: Dict[str, Any] = {}
+        for field in _STAGE_FIELDS:
+            va, vb = row_a.get(field, 0) or 0, row_b.get(field, 0) or 0
+            row[field] = {"a": va, "b": vb, "delta": vb - va, "rel": _rel(va, vb)}
+        stages[stage] = row
+    end_a = a.get("end_to_end", {})
+    end_b = b.get("end_to_end", {})
+    end = {
+        field: {
+            "a": end_a.get(field, 0) or 0,
+            "b": end_b.get(field, 0) or 0,
+            "delta": (end_b.get(field, 0) or 0) - (end_a.get(field, 0) or 0),
+            "rel": _rel(end_a.get(field, 0) or 0, end_b.get(field, 0) or 0),
+        }
+        for field in ("count", "total", "mean", "p50", "p95", "p99")
+    }
+    sites = set(a.get("stalls", {})) | set(b.get("stalls", {}))
+    stalls: Dict[str, Dict[str, Any]] = {}
+    for site in sorted(sites):
+        causes = set(a.get("stalls", {}).get(site, {})) | set(
+            b.get("stalls", {}).get(site, {})
+        )
+        for cause in sorted(causes):
+            va = a.get("stalls", {}).get(site, {}).get(cause, 0)
+            vb = b.get("stalls", {}).get(site, {}).get(cause, 0)
+            stalls.setdefault(site, {})[cause] = {
+                "a": va, "b": vb, "delta": vb - va, "rel": _rel(va, vb)
+            }
+    return {
+        "meta": {"a": a.get("meta", {}), "b": b.get("meta", {})},
+        "end_to_end": end,
+        "stages": stages,
+        "stalls": stalls,
+        "critical_stage": {
+            "a": a.get("critical_stage"),
+            "b": b.get("critical_stage"),
+        },
+    }
+
+
+# -- text rendering ---------------------------------------------------------
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:.1f}"
+    return str(value)
+
+
+def _pct(ratio: Optional[float]) -> str:
+    if ratio is None:
+        return "n/a"
+    return f"{ratio * 100:+.1f}%"
+
+
+def format_report(report: Dict[str, Any], title: str = "bottleneck report") -> str:
+    """Render a report as the aligned text tables the CLI prints."""
+    from repro.eval.report import format_table
+
+    lines: List[str] = []
+    meta = report.get("meta", {})
+    if meta:
+        pairs = ", ".join(f"{k}={v}" for k, v in meta.items())
+        lines.append(f"{title} ({pairs})")
+    else:
+        lines.append(title)
+    end = report.get("end_to_end", {})
+    lines.append(
+        f"requests: {report.get('requests', 0)}  |  end-to-end mean "
+        f"{_fmt(end.get('mean', 0))} cy, p50 {_fmt(end.get('p50', 0))}, "
+        f"p95 {_fmt(end.get('p95', 0))}, p99 {_fmt(end.get('p99', 0))}"
+    )
+    rows = []
+    for stage in STAGES:
+        row = report.get("stages", {}).get(stage, {})
+        if not row.get("count"):
+            continue
+        rows.append(
+            [
+                stage,
+                row.get("count", 0),
+                _fmt(row.get("mean", 0)),
+                _fmt(row.get("p50", 0)),
+                _fmt(row.get("p95", 0)),
+                _fmt(row.get("p99", 0)),
+                f"{row.get('share', 0.0) * 100:.1f}%",
+            ]
+        )
+    lines.append(
+        format_table(
+            ["stage", "count", "mean", "p50", "p95", "p99", "share"],
+            rows,
+            title="per-stage latency (cycles)",
+        )
+    )
+    exact = "yes" if report.get("exact") else "NO"
+    lines.append(
+        f"stage sum {report.get('stage_cycle_sum', 0)} cy == end-to-end "
+        f"{end.get('total', 0)} cy: {exact}"
+    )
+    if report.get("critical_stage"):
+        lines.append(f"critical stage: {report['critical_stage']}")
+    top = report.get("top_stalls", [])
+    if top:
+        lines.append(
+            format_table(
+                ["site", "cause", "stall cycles"],
+                [[s, c, n] for s, c, n in top[:10]],
+                title="top stall sites",
+            )
+        )
+    else:
+        lines.append("no stalls recorded")
+    return "\n".join(lines)
+
+
+def format_diff(diff: Dict[str, Any]) -> str:
+    """Render a diff dict as aligned before/after text tables."""
+    from repro.eval.report import format_table
+
+    lines: List[str] = []
+    end = diff.get("end_to_end", {})
+    rows = [
+        [field, _fmt(v["a"]), _fmt(v["b"]), _fmt(v["delta"]), _pct(v["rel"])]
+        for field, v in end.items()
+    ]
+    lines.append(
+        format_table(
+            ["end-to-end", "A", "B", "delta", "rel"],
+            rows,
+            title="A/B bottleneck diff",
+        )
+    )
+    stage_rows = []
+    for stage in STAGES:
+        row = diff.get("stages", {}).get(stage, {})
+        total = row.get("total")
+        if not total or (not total["a"] and not total["b"]):
+            continue
+        mean = row.get("mean", {"a": 0, "b": 0, "rel": None})
+        stage_rows.append(
+            [
+                stage,
+                _fmt(total["a"]),
+                _fmt(total["b"]),
+                _fmt(total["delta"]),
+                _pct(total["rel"]),
+                _pct(mean["rel"]),
+            ]
+        )
+    if stage_rows:
+        lines.append(
+            format_table(
+                ["stage", "total A", "total B", "delta", "rel", "mean rel"],
+                stage_rows,
+                title="per-stage totals (cycles)",
+            )
+        )
+    stall_rows: List[List[Any]] = []
+    for site, causes in diff.get("stalls", {}).items():
+        for cause, v in causes.items():
+            if not v["a"] and not v["b"]:
+                continue
+            stall_rows.append(
+                [site, cause, v["a"], v["b"], v["delta"], _pct(v["rel"])]
+            )
+    stall_rows.sort(key=lambda r: -abs(r[4]))
+    if stall_rows:
+        lines.append(
+            format_table(
+                ["site", "cause", "A", "B", "delta", "rel"],
+                stall_rows[:12],
+                title="stall deltas (cycles)",
+            )
+        )
+    crit = diff.get("critical_stage", {})
+    if crit:
+        lines.append(
+            f"critical stage: {crit.get('a')} -> {crit.get('b')}"
+        )
+    return "\n".join(lines)

@@ -155,16 +155,25 @@ class Histogram:
     # -- recording ---------------------------------------------------------
 
     def add(self, value: float, n: int = 1) -> None:
+        # Hot path (one call per request per stage when attribution is
+        # on): plain comparisons beat min()/max() calls here.
         if n < 1:
             raise ValueError("need a positive occurrence count")
         self.counts[bisect_left(self.bounds, value)] += n
         self.count += n
         self.total += value * n
-        self.min = value if self.min is None else min(self.min, value)
-        self.max = value if self.max is None else max(self.max, value)
-        room = self.sample_limit - len(self._samples)
-        if room > 0:
-            self._samples.extend([value] * min(n, room))
+        mn = self.min
+        if mn is None or value < mn:
+            self.min = value
+        mx = self.max
+        if mx is None or value > mx:
+            self.max = value
+        samples = self._samples
+        if len(samples) < self.sample_limit:
+            if n == 1:
+                samples.append(value)
+            else:
+                samples.extend([value] * min(n, self.sample_limit - len(samples)))
 
     # -- introspection -----------------------------------------------------
 
@@ -178,8 +187,25 @@ class Histogram:
 
     @property
     def samples(self) -> List[float]:
-        """The exact sample prefix (all values while under the limit)."""
+        """The exact sample prefix — NOT the full value set after capacity.
+
+        The histogram keeps the first ``sample_limit`` values verbatim
+        (an arrival-order prefix, not a random reservoir) and drops the
+        rest into buckets: check :attr:`dropped` (or :attr:`exact`)
+        before treating this list as the full distribution.
+        """
         return list(self._samples)
+
+    @property
+    def dropped(self) -> int:
+        """How many recorded values are *not* in :attr:`samples`.
+
+        Zero while under ``sample_limit`` (``exact`` is True); beyond
+        it, every further value is counted here and only bucket-level
+        information (counts, total, min/max, interpolated quantiles)
+        remains for the dropped tail.
+        """
+        return self.count - len(self._samples)
 
     @property
     def mean(self) -> float:
@@ -187,7 +213,14 @@ class Histogram:
 
     def quantile(self, q: float) -> float:
         """q-quantile (0..1); exact while under the sample limit,
-        linearly interpolated over buckets afterwards."""
+        linearly interpolated over buckets afterwards.
+
+        The switch is all-or-nothing: once any value has been dropped
+        from the sample prefix (``dropped > 0``) the estimate comes
+        entirely from the geometric buckets — the retained prefix is
+        arrival-ordered, not a uniform reservoir, so mixing it into the
+        estimate would bias quantiles towards early-run behaviour.
+        """
         if not 0 <= q <= 1:
             raise ValueError("quantile must be in [0, 1]")
         if not self.count:
@@ -225,6 +258,7 @@ class Histogram:
         return {
             "count": self.count,
             "total": self.total,
+            "dropped": self.dropped,
             "min": self.min,
             "max": self.max,
             "mean": self.mean,

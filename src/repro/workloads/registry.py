@@ -49,6 +49,10 @@ BENCHMARKS: Dict[str, Type[Workload]] = {
 #: BOTS and NAS kernels, for coverage beyond the paper's 12-benchmark
 #: selection, plus the sequential SG control of Fig. 1 (right).
 AUXILIARY: Dict[str, Type[Workload]] = {
+    # The paper's scatter/gather kernel IS the GUPS access pattern
+    # (random word-granularity updates over a huge table); accept the
+    # conventional name as an alias.
+    "GUPS": ScatterGather,
     "SG-SEQ": SequentialSG,
     "CC": GAPConnectedComponents,
     "SSSP": GAPSSSP,

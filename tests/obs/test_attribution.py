@@ -1,0 +1,209 @@
+"""Unit tests of the attribution collector (stage stamps + stall taxonomy)."""
+
+import pytest
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.obs.attribution import (
+    MARKS,
+    NULL_ATTRIBUTION,
+    STAGE_OF_MARK,
+    STAGES,
+    AttributionCollector,
+    DepthSampler,
+    NullAttribution,
+    StallCause,
+    request_breakdown,
+)
+
+pytestmark = pytest.mark.obs
+
+
+def _req(**kw):
+    return MemoryRequest(addr=0x1000, rtype=RequestType.LOAD, **kw)
+
+
+class TestMarksSchema:
+    def test_every_non_first_mark_has_a_stage(self):
+        assert set(STAGE_OF_MARK) == set(MARKS[1:])
+        assert STAGES == tuple(STAGE_OF_MARK[m] for m in MARKS[1:])
+
+    def test_stall_causes_cover_the_issue_taxonomy(self):
+        values = {c.value for c in StallCause}
+        assert {
+            "arq_full",
+            "fence_drain",
+            "link_tokens_exhausted",
+            "retry_replay",
+            "vault_queue_full",
+            "bank_conflict",
+            "response_backpressure",
+        } <= values
+
+
+class TestBreakdown:
+    def test_full_path_telescopes_exactly(self):
+        at = AttributionCollector()
+        req = _req()
+        for i, mark in enumerate(MARKS):
+            at.mark(req, mark, 10 * i)
+        bd = request_breakdown(req)
+        assert bd is not None
+        assert all(bd[STAGE_OF_MARK[m]] == 10 for m in MARKS[1:])
+        assert bd["end_to_end"] == sum(bd[s] for s in STAGES)
+
+        at.finalize(req)
+        assert at.finalized == 1
+        assert sum(at.stage_cycles.values()) == at.end_to_end.total
+
+    def test_partial_path_skips_absent_stages_but_stays_exact(self):
+        at = AttributionCollector()
+        req = _req()
+        at.mark(req, "submit", 5)
+        at.mark(req, "dispatch", 25)
+        at.mark(req, "complete", 125)
+        bd = request_breakdown(req)
+        assert bd == {"builder": 20, "link_response": 100, "end_to_end": 120}
+        at.finalize(req)
+        assert sum(at.stage_cycles.values()) == at.end_to_end.total == 120
+
+    def test_restamp_overwrites_for_reissued_requests(self):
+        at = AttributionCollector()
+        req = _req()
+        at.mark(req, "submit", 0)
+        at.mark(req, "vault_arrive", 50)
+        at.mark(req, "vault_arrive", 300)  # timeout re-issue
+        assert request_breakdown(req)["end_to_end"] == 300
+
+    def test_unmarked_request_counts_incomplete(self):
+        at = AttributionCollector()
+        at.finalize(_req())
+        single = _req()
+        at.mark(single, "submit", 3)
+        at.finalize(single)
+        assert at.incomplete == 2
+        assert at.finalized == 0
+        assert request_breakdown(_req()) is None
+
+
+class TestStalls:
+    def test_stall_accumulates_per_site_and_cause(self):
+        at = AttributionCollector()
+        at.stall("arq", StallCause.ARQ_FULL)
+        at.stall("arq", StallCause.ARQ_FULL, 4)
+        at.stall("arq", StallCause.FENCE_DRAIN)
+        assert at.stalls["arq"] == {"arq_full": 5, "fence_drain": 1}
+        assert at.total_stall_cycles() == {"arq": 6}
+
+    def test_stall_span_clips_overlaps_to_their_union(self):
+        at = AttributionCollector()
+        at.stall_span("bank", StallCause.BANK_CONFLICT, 10, 20)
+        at.stall_span("bank", StallCause.BANK_CONFLICT, 15, 30)  # overlap
+        at.stall_span("bank", StallCause.BANK_CONFLICT, 0, 5)  # fully past
+        at.stall_span("bank", StallCause.BANK_CONFLICT, 40, 40)  # empty
+        assert at.stalls["bank"]["bank_conflict"] == 20  # |[10,30)|
+
+    def test_stall_span_per_cycle_charging_is_idempotent(self):
+        at = AttributionCollector()
+        for _ in range(8):  # eight cores bouncing in one cycle
+            at.stall_span("router", StallCause.INPUT_QUEUE_FULL, 7, 8)
+        assert at.stalls["router"]["input_queue_full"] == 1
+
+    def test_watermarks_are_per_site_and_cause(self):
+        at = AttributionCollector()
+        at.stall_span("link0_req", StallCause.LINK_BUSY, 0, 10)
+        at.stall_span("link1_req", StallCause.LINK_BUSY, 0, 10)
+        at.stall_span("link0_req", StallCause.RETRY_REPLAY, 0, 10)
+        assert at.stalls["link0_req"] == {"link_busy": 10, "retry_replay": 10}
+        assert at.stalls["link1_req"] == {"link_busy": 10}
+
+
+class TestDepthSampler:
+    def test_stride_keeps_every_nth(self):
+        ds = DepthSampler(stride=4, capacity=64)
+        for c in range(40):
+            ds.sample("arq", c, c % 7)
+        assert len(ds.series("arq")) == 10
+        assert [c for c, _ in ds.series("arq")] == list(range(0, 40, 4))
+
+    def test_capacity_decimates_and_doubles_stride(self):
+        ds = DepthSampler(stride=1, capacity=8)
+        for c in range(64):
+            ds.sample("q", c, float(c))
+        snap = ds.snapshot()["q"]
+        assert snap["points"] < 8
+        assert snap["stride"] > 1
+        assert snap["offered"] == 64
+        # Retained points still span the run in order.
+        cycles = [c for c, _ in ds.series("q")]
+        assert cycles == sorted(cycles)
+        assert cycles[0] == 0
+
+    def test_memory_stays_bounded_over_long_runs(self):
+        ds = DepthSampler(stride=1, capacity=16)
+        for c in range(10_000):
+            ds.sample("q", c, 1.0)
+        assert len(ds.series("q")) <= 16
+
+    def test_reset(self):
+        ds = DepthSampler()
+        ds.sample("q", 0, 1.0)
+        ds.reset()
+        assert ds.sites() == []
+        assert ds.snapshot() == {}
+
+
+class TestNullAttribution:
+    def test_null_is_disabled_and_inert(self):
+        assert isinstance(NULL_ATTRIBUTION, NullAttribution)
+        assert NULL_ATTRIBUTION.enabled is False
+        req = _req()
+        NULL_ATTRIBUTION.mark(req, "submit", 1)
+        NULL_ATTRIBUTION.finalize(req)
+        NULL_ATTRIBUTION.stall("x", StallCause.ARQ_FULL)
+        NULL_ATTRIBUTION.stall_span("x", StallCause.ARQ_FULL, 0, 5)
+        NULL_ATTRIBUTION.sample_depth("x", 0, 1.0)
+        assert req.marks is None
+
+
+class TestProtocol:
+    def _filled(self, offset=0):
+        at = AttributionCollector()
+        req = _req()
+        for i, mark in enumerate(MARKS):
+            at.mark(req, mark, offset + 7 * i)
+        at.finalize(req)
+        at.stall("arq", StallCause.ARQ_FULL, 3)
+        at.stall_span("bank", StallCause.BANK_CONFLICT, offset, offset + 9)
+        at.sample_depth("arq", offset, 2.0)
+        return at
+
+    def test_merge_adds_counts_and_stays_exact(self):
+        a, b = self._filled(), self._filled(offset=100)
+        a.merge(b)
+        assert a.finalized == 2
+        assert sum(a.stage_cycles.values()) == a.end_to_end.total
+        assert a.stalls["arq"]["arq_full"] == 6
+        assert a.stalls["bank"]["bank_conflict"] == 18
+
+    def test_snapshot_shape_round_trips_through_report(self):
+        from repro.obs.analyze import build_report
+
+        at = self._filled()
+        snap = at.snapshot()
+        assert snap["requests_finalized"] == 1
+        assert set(snap["stages"]) == set(STAGES)
+        report = build_report(at, meta={"k": "v"})
+        assert report["exact"] is True
+        assert report["critical_stage"] in STAGES
+        assert report["top_stalls"][0][2] >= report["top_stalls"][-1][2]
+
+    def test_reset_clears_everything(self):
+        at = self._filled()
+        at.reset()
+        assert at.finalized == 0 and at.incomplete == 0
+        assert sum(at.stage_cycles.values()) == 0
+        assert at.stalls == {}
+        assert at.depth.snapshot() == {}
+        # Watermarks cleared too: a fresh span charges in full.
+        at.stall_span("bank", StallCause.BANK_CONFLICT, 0, 4)
+        assert at.stalls["bank"]["bank_conflict"] == 4

@@ -104,8 +104,35 @@ class TestHistogram:
         h = Histogram()
         h.add(3)
         snap = h.snapshot()
-        assert set(snap) == {"count", "total", "min", "max", "mean", "p50", "p99", "buckets"}
+        assert set(snap) == {
+            "count", "total", "dropped", "min", "max", "mean", "p50", "p99",
+            "buckets",
+        }
         assert snap["buckets"] == {"4": 1}
+        assert snap["dropped"] == 0
+
+    def test_dropped_counts_overflow_beyond_sample_limit(self):
+        h = Histogram(sample_limit=4)
+        for v in range(10):
+            h.add(v)
+        assert len(h.samples) == 4
+        assert h.dropped == 6
+        assert not h.exact
+        assert h.snapshot()["dropped"] == 6
+        # The prefix is arrival-ordered, not a reservoir.
+        assert h.samples == [0, 1, 2, 3]
+
+    def test_dropped_tracks_bulk_adds_and_merge(self):
+        h = Histogram(sample_limit=3)
+        h.add(5, n=10)
+        assert h.dropped == 7
+        other = Histogram(sample_limit=3)
+        other.add(7, n=2)
+        h.merge(other)
+        assert h.count == 12
+        assert h.dropped == 9  # merge cannot grow a full sample prefix
+        h.reset()
+        assert h.dropped == 0 and h.exact
 
 
 class TestRegistry:

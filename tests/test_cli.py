@@ -105,3 +105,77 @@ class TestCommands:
     def test_run_without_outputs(self, capsys):
         assert main(["run", "MG", "--threads", "2", "--ops", "100"]) == 0
         assert "coalescing efficiency" in capsys.readouterr().out
+
+    def test_run_attribution_exports_metrics(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "metrics.json"
+        args = ["run", "IS", "--threads", "2", "--ops", "200"]
+        assert main(args + ["--metrics-out", str(out)]) == 0
+        plain = json.loads(out.read_text())
+        assert not any(k.startswith("attribution.") for k in plain)
+
+        assert main(args + ["--attribution", "--metrics-out", str(out)]) == 0
+        metrics = json.loads(out.read_text())
+        assert metrics["attribution.requests_finalized"] > 0
+        assert any(k.startswith("attribution.stages.") for k in metrics)
+        assert any(k.startswith("attribution.stalls.") for k in metrics)
+
+
+class TestAnalyze:
+    SIZING = ["--threads", "2", "--ops", "200"]
+
+    def test_analyze_benchmark_prints_exact_report(self, capsys):
+        assert main(["analyze", "GUPS"] + self.SIZING) == 0
+        text = capsys.readouterr().out
+        assert "per-stage latency" in text
+        assert "critical stage:" in text
+        assert "== end-to-end" in text and ": yes" in text
+
+    def test_analyze_json_report(self, capsys):
+        import json
+
+        assert main(["analyze", "SG", "--json"] + self.SIZING) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["exact"] is True
+        assert report["requests"] > 0
+        assert report["meta"]["benchmark"] == "SG"
+        assert report["stage_cycle_sum"] == report["end_to_end"]["total"]
+
+    def test_analyze_metrics_file_round_trip(self, tmp_path, capsys):
+        metrics = tmp_path / "metrics.json"
+        run = ["run", "IS", "--attribution", "--metrics-out", str(metrics)]
+        assert main(run + self.SIZING) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--metrics", str(metrics)]) == 0
+        assert ": yes" in capsys.readouterr().out
+
+    def test_analyze_metrics_without_attribution_fails(self, tmp_path):
+        metrics = tmp_path / "metrics.json"
+        assert main(["run", "IS", "--metrics-out", str(metrics)] + self.SIZING) == 0
+        with pytest.raises(ValueError, match="attribution"):
+            main(["analyze", "--metrics", str(metrics)])
+
+    def test_analyze_diff_mac_vs_baseline(self, tmp_path, capsys):
+        import json
+
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["analyze", "SG", "--report-out", str(a)] + self.SIZING) == 0
+        assert (
+            main(["analyze", "SG", "--no-mac", "--report-out", str(b)] + self.SIZING)
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["analyze", "--diff", str(a), str(b)]) == 0
+        text = capsys.readouterr().out
+        assert "A/B bottleneck diff" in text
+        assert "critical stage:" in text
+
+        assert main(["analyze", "--diff", str(a), str(b), "--json"]) == 0
+        diff = json.loads(capsys.readouterr().out)
+        # Uncoalesced baseline runs longer end to end (the §5.2 story).
+        assert diff["end_to_end"]["total"]["delta"] > 0
+
+    def test_analyze_without_inputs_exits_2(self, capsys):
+        assert main(["analyze"]) == 2
+        assert "analyze needs" in capsys.readouterr().err
