@@ -1,0 +1,113 @@
+"""Simulation-kernel engines — lockstep vs quiescence-skipping wall time.
+
+The skip engine's value proposition: on *latency-bound* workloads
+(shallow-LSQ stall-on-miss cores, the paper's base core) almost every
+cycle is quiescent — all cores blocked on an in-flight response — so
+fast-forwarding to the next wake event removes the bulk of the Python
+tick overhead.  On *bandwidth-bound* workloads (deep LSQs keeping the
+MAC busy) there is nothing to skip and the engine must not cost more
+than a few percent.  Both runs assert bit-identical results first; the
+artifact records the wall times and speedups for bench_compare.py.
+"""
+
+import random
+import time
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.eval.report import format_table
+from repro.node.node import Node
+
+from conftest import attach, run_figure
+
+
+def _streams(cores, ops, rows):
+    out = []
+    for c in range(cores):
+        rng = random.Random(c * 7 + 1)
+        out.append(
+            iter(
+                [
+                    MemoryRequest(
+                        addr=(rng.randrange(rows) << 8)
+                        | (rng.randrange(16) << 4),
+                        rtype=RequestType.LOAD if i % 4 else RequestType.STORE,
+                        tid=c,
+                        tag=i,
+                        core=c,
+                    )
+                    for i in range(ops)
+                ]
+            )
+        )
+    return out
+
+
+#: (cores, ops/core, rows, lsq_capacity).  lsq=1 is the paper's strict
+#: stall-on-miss base core: one outstanding miss, hundreds of quiescent
+#: cycles per request.  lsq=None (default 64) keeps the MAC saturated.
+SHAPES = {
+    "latency_bound": (2, 400, 64, 1),
+    "bandwidth_bound": (8, 1500, 256, None),
+}
+
+
+def _timed_run(engine, shape, rounds=2):
+    """Best-of-N wall time: the first pass through an engine's loop pays
+    CPython's adaptive-interpreter specialization warmup (~10%)."""
+    cores, ops, rows, lsq = shape
+    best = float("inf")
+    for _ in range(rounds):
+        node = Node(_streams(cores, ops, rows), lsq_capacity=lsq)
+        t0 = time.perf_counter()
+        node.run(engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, node
+
+
+def test_sim_kernel_engines(benchmark):
+    def run():
+        out = {}
+        for label, shape in SHAPES.items():
+            t_lock, lock = _timed_run("lockstep", shape)
+            t_skip, skip = _timed_run("skip", shape)
+            # Equivalence first: a fast wrong answer is worthless.
+            assert skip.cycle == lock.cycle, label
+            assert skip.metrics() == lock.metrics(), label
+            out[label] = {
+                "lockstep_s": t_lock,
+                "skip_s": t_skip,
+                "speedup": t_lock / t_skip,
+                "cycles": lock.stats.cycles,
+            }
+        return out
+
+    out = run_figure(benchmark, run, "sim kernel: lockstep vs skip engine")
+    for label, row in out.items():
+        attach(
+            benchmark,
+            **{
+                f"{label}_lockstep_s": row["lockstep_s"],
+                f"{label}_skip_s": row["skip_s"],
+                f"{label}_speedup": row["speedup"],
+            },
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "cycles", "lockstep (s)", "skip (s)", "speedup"],
+            [
+                [
+                    label,
+                    row["cycles"],
+                    round(row["lockstep_s"], 3),
+                    round(row["skip_s"], 3),
+                    f"{row['speedup']:.2f}x",
+                ]
+                for label, row in out.items()
+            ],
+            title="identical results, wall-clock only",
+        )
+    )
+    # Acceptance: big win where it matters, no harm where it cannot help.
+    assert out["latency_bound"]["speedup"] >= 2.0
+    assert out["bandwidth_bound"]["speedup"] >= 0.95

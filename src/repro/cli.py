@@ -34,6 +34,7 @@ from repro.core.mac import coalesce_trace_fast
 from repro.core.stats import MACStats
 from repro.eval.report import format_table, human_bytes, pct
 from repro.seeding import DEFAULT_SEED, derive_seed
+from repro.sim import ENGINE_ENV_VAR, engine_names
 from repro.trace.record import to_requests
 from repro.trace.tracefile import dump, load
 from repro.workloads.registry import AUXILIARY, BENCHMARKS, make
@@ -49,6 +50,17 @@ def _add_mac_args(p: argparse.ArgumentParser) -> None:
         choices=[x.value for x in FlitTablePolicy],
         default="span",
         help="FLIT-table policy (default span)",
+    )
+
+
+def _add_engine_arg(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--engine",
+        choices=engine_names(),
+        default=None,
+        help="simulation engine: lockstep clocks every cycle, skip "
+        "fast-forwards over quiescent spans with identical results "
+        f"(default: ${ENGINE_ENV_VAR} or lockstep)",
     )
 
 
@@ -233,6 +245,7 @@ def cmd_run(args) -> int:
         flit_policy=FlitTablePolicy(args.policy),
         tracer=tracer,
         attrib=attrib,
+        engine=args.engine,
     )
     replay = replay_on_device(
         disp.packets,
@@ -317,6 +330,7 @@ def cmd_analyze(args) -> int:
             seed=seed,
             coalescing=not args.no_mac,
             config=_mac_config(args),
+            engine=args.engine,
         )
         report = build_report(
             attrib,
@@ -474,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=3000, help="ops per thread")
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     _add_mac_args(p)
+    _add_engine_arg(p)
     obs = p.add_argument_group("observability")
     obs.add_argument(
         "--trace-out",
@@ -521,6 +536,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="analyze the uncoalesced baseline (1-entry ARQ) instead",
     )
     _add_mac_args(p)
+    _add_engine_arg(p)
     p.add_argument(
         "--metrics",
         default=None,

@@ -173,6 +173,28 @@ class RawRequestAggregator:
         """Whether the request offered to the last tick() was accepted."""
         return self._accepted_last
 
+    def skip(self, start: int, end: int) -> None:
+        """Fast-forward an idle aggregator over cycles [start, end).
+
+        Only valid while :meth:`idle` holds (the skip engine guarantees
+        it): replicates exactly what that many empty ``tick(None)`` calls
+        would have done — advance the cycle counter / ``total_cycles``,
+        leave ``_next_pop`` stale (a pop fires immediately once a request
+        arrives, same as after idle lockstep cycles), and offer the same
+        every-64th-cycle ARQ depth samples to the attribution collector
+        so the strided sampler sees an identical observation sequence.
+        """
+        at = self.attrib
+        if at.enabled:
+            depth = len(self.arq)
+            cycle = start + (-start & 63)  # first multiple of 64 >= start
+            while cycle < end:
+                at.sample_depth("arq", cycle, depth)
+                cycle += 64
+        self._cycle = end
+        self.stats.total_cycles = end
+        self._accepted_last = True
+
     def drain(self) -> List[CoalescedRequest]:
         """Run the clock with no new input until everything is emitted."""
         out: List[CoalescedRequest] = []

@@ -20,6 +20,7 @@ from typing import Callable, Iterable, List, Optional
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
+from ..sim import ClockedModel
 from .address import AddressCodec
 from .aggregator import RawRequestAggregator
 from .arq import ARQEntry
@@ -33,7 +34,7 @@ from .router import RequestRouter, ResponseRouter
 from .stats import MACStats
 
 
-class MAC:
+class MAC(ClockedModel):
     """Cycle-level Memory Access Coalescer for one node.
 
     Typical use::
@@ -48,6 +49,8 @@ class MAC:
     :meth:`tick` per cycle and feed responses through
     :meth:`receive_response`.
     """
+
+    _overrun_msg = "MAC failed to drain within max_cycles"
 
     def __init__(
         self,
@@ -145,6 +148,24 @@ class MAC:
             and self.aggregator.idle()
         )
 
+    def done(self) -> bool:
+        """Kernel-facing completion predicate: nothing left to drain."""
+        return self.idle()
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """A busy MAC acts every cycle; an idle one schedules no wake.
+
+        The pop cadence (``_next_pop``) and the builder pipeline both
+        advance whenever any request is buffered, so the only skippable
+        MAC state is full idleness — where the next event belongs to
+        whoever feeds it (core issue, fabric delivery, in-flight heap).
+        """
+        return None if self.idle() else now
+
+    def skip_to(self, target: int) -> None:
+        """Fast-forward an idle MAC (see RawRequestAggregator.skip)."""
+        self.aggregator.skip(self.aggregator.cycle, target)
+
     def tick(self) -> List[CoalescedRequest]:
         """Advance one cycle; returns packets dispatched to the device."""
         incoming = None
@@ -167,19 +188,24 @@ class MAC:
             self.attrib.stall_span("arq", cause, cycle, cycle + 1)
         return self.aggregator.tick(incoming)
 
-    def run(self, max_cycles: int = 100_000_000) -> List[CoalescedRequest]:
-        """Clock until all buffered requests have been emitted."""
+    def run(
+        self, max_cycles: int = 100_000_000, engine=None
+    ) -> List[CoalescedRequest]:
+        """Clock until all buffered requests have been emitted.
+
+        The max-cycles guard is *relative*: it budgets the cycles spent
+        draining in this call, not the absolute cycle counter (the MAC
+        may have been ticking long before ``run`` is called).
+        """
         out: List[CoalescedRequest] = []
-        cycles = 0
-        while not self.idle():
-            out.extend(self.tick())
-            cycles += 1
-            if cycles > max_cycles:
-                raise RuntimeError("MAC failed to drain within max_cycles")
+        self._run_loop(max_cycles, engine=engine, on_tick=out.extend, relative=True)
         return out
 
     def process(
-        self, requests: Iterable[MemoryRequest], max_cycles: int = 1_000_000_000
+        self,
+        requests: Iterable[MemoryRequest],
+        max_cycles: int = 1_000_000_000,
+        engine=None,
     ) -> List[CoalescedRequest]:
         """Feed a whole trace with backpressure, then drain.
 
@@ -200,7 +226,7 @@ class MAC:
                 cycles += 1
                 if cycles > max_cycles:
                     raise RuntimeError("MAC made no progress within max_cycles")
-        out.extend(self.run(max_cycles))
+        out.extend(self.run(max_cycles, engine=engine))
         return out
 
     # -- responses ----------------------------------------------------------

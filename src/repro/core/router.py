@@ -192,6 +192,17 @@ class ResponseRouter:
         self.outstanding[packet.packet_id] = (packet, cycle)
         return packet.packet_id
 
+    def next_timeout_cycle(self, timeout_cycles: int) -> Optional[int]:
+        """Cycle at which the oldest outstanding packet will time out.
+
+        ``None`` when nothing is outstanding.  ``outstanding`` is kept in
+        dispatch order, so the first entry is the earliest deadline —
+        mirroring the early-break scan of :meth:`check_timeouts`.
+        """
+        for _packet, dispatched in self.outstanding.values():
+            return dispatched + timeout_cycles
+        return None
+
     def check_timeouts(self, now: int, timeout_cycles: int) -> List[object]:
         """Collect outstanding packets older than ``timeout_cycles``.
 

@@ -171,6 +171,7 @@ def dispatch(
     flit_policy: FlitTablePolicy = FlitTablePolicy.SPAN,
     tracer=NULL_TRACER,
     attrib=NULL_ATTRIBUTION,
+    engine=None,
 ) -> DispatchResult:
     """Run one benchmark trace through a dispatch policy.
 
@@ -178,7 +179,9 @@ def dispatch(
     (direct 16 B dispatch).  ``tracer`` records cycle-stamped ARQ/builder
     events for the cycle engine (the window and raw engines are not
     clocked, so they emit nothing); ``attrib`` likewise collects stage
-    stamps and stall causes from the cycle engine only.
+    stamps and stall causes from the cycle engine only.  ``engine``
+    selects the simulation engine for the cycle policy (see
+    :mod:`repro.sim`); the other policies are not clocked and ignore it.
     """
     trace = cached_trace(name, threads, ops_per_thread, seed)
     requests = list(to_requests(trace))
@@ -188,7 +191,7 @@ def dispatch(
     elif policy == "mac-cycle":
         mac = MAC(config, policy=flit_policy, tracer=tracer, attrib=attrib)
         mac.attach_stats(stats)
-        packets = mac.process(requests)
+        packets = mac.process(requests, engine=engine)
     elif policy == "raw":
         packets = dispatch_raw(requests, config, stats)
     else:
@@ -287,6 +290,7 @@ def attributed_node_run(
     config: Optional[MACConfig] = None,
     hmc: Optional[HMCConfig] = None,
     attrib: Optional[AttributionCollector] = None,
+    engine=None,
 ):
     """Closed-loop node run of one benchmark with attribution enabled.
 
@@ -313,5 +317,5 @@ def attributed_node_run(
         hmc_config=hmc,
         attrib=at,
     )
-    node.run()
+    node.run(engine=engine)
     return at, node

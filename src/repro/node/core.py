@@ -133,6 +133,54 @@ class InOrderCore:
         self._last_issued = req
         return req
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` this core can act on its own.
+
+        ``now`` means the core is not skippable (it can issue, clear a
+        fence, or stamp its finish cycle this very tick); a future cycle
+        points at a scheduled SPM retirement or the end of an issue
+        cooldown; ``None`` means the core is blocked and only an external
+        response delivery (handled by the node's in-flight heap) can wake
+        it.  Mirrors the branch order of :meth:`tick` exactly.
+        """
+        wake: Optional[int] = None
+        if self._spm_retire:
+            wake = min(when for when, _ in self._spm_retire)
+            if wake <= now:
+                return now
+        if self._fence_pending:
+            # Blocked until the LSQ drains (delivery or SPM retirement).
+            return now if self.lsq.empty else wake
+        if self._cooldown > 0:
+            cooled = now + self._cooldown
+            return cooled if wake is None else min(wake, cooled)
+        if self._next is None:
+            if self.done and self.stats.finished_cycle < 0:
+                return now  # must tick once more to stamp finished_cycle
+            return wake
+        if self.lsq.full:
+            return wake  # stalled until a response frees an LSQ slot
+        return now  # ready to issue
+
+    def skip(self, start: int, end: int) -> None:
+        """Apply the per-cycle accounting of ticks [start, end) in bulk.
+
+        Only called for windows the skip engine proved uneventful via
+        :meth:`next_event_cycle`, so the branch taken by every skipped
+        tick is the same one; replicate its counter/cooldown effect.
+        """
+        delta = end - start
+        if self._fence_pending:
+            if not self.lsq.empty:
+                self.stats.fence_stalls += delta
+            return
+        if self._cooldown > 0:
+            # next_event_cycle bounds the window, so this never underflows.
+            self._cooldown -= delta
+            return
+        if self._next is not None and self.lsq.full:
+            self.stats.stall_cycles += delta
+
     def retry(self) -> None:
         """Undo the issue returned by the last tick (downstream was full)."""
         req = self._last_issued

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Any, List, Tuple
+from typing import Any, List, Optional, Tuple
 
 
 @dataclass(frozen=True, slots=True)
@@ -53,3 +53,9 @@ class Interconnect:
     @property
     def in_flight(self) -> int:
         return len(self._heap)
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Delivery cycle of the earliest in-flight message, if any."""
+        if not self._heap:
+            return None
+        return max(self._heap[0][0], now)

@@ -112,6 +112,32 @@ class MultithreadedCore:
         self.stats.idle_cycles += 1
         return None
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` any context can issue on its own.
+
+        Contexts blocked on an in-flight memory operation wake only via
+        :meth:`complete` (an external event); contexts resolving an SPM
+        hit or a switch penalty wake at their ``ready_cycle``.
+        """
+        wake: Optional[int] = None
+        for ctx in self.contexts:
+            if ctx.done or ctx.waiting_on is not None:
+                continue
+            if ctx.ready_cycle <= now:
+                return now
+            if wake is None or ctx.ready_cycle < wake:
+                wake = ctx.ready_cycle
+        return wake
+
+    def skip(self, start: int, end: int) -> None:
+        """Bulk-account ticks [start, end) in which no context could issue.
+
+        Every such tick walks the context list, finds nothing ready and
+        counts one idle cycle; the round-robin pointer and last-issuer
+        latch are untouched.
+        """
+        self.stats.idle_cycles += end - start
+
     def retry(self) -> None:
         """Undo the last tick's issue (downstream queue was full)."""
         if self._last_issued is None:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.config import MACConfig, SystemConfig
 from repro.core.flit_table import FlitTablePolicy
@@ -24,6 +24,7 @@ from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import flatten
 from repro.obs.protocol import StatsMixin
 from repro.obs.tracer import NULL_TRACER
+from repro.sim import ClockedModel
 
 from .core import InOrderCore
 from .spm import ScratchpadMemory
@@ -58,8 +59,10 @@ class NodeStats(StatsMixin):
     link_bandwidth_loss: float = 0.0
 
 
-class Node:
+class Node(ClockedModel):
     """Closed-loop simulation of one node of the Fig. 4 architecture."""
+
+    _overrun_msg = "node simulation exceeded max_cycles"
 
     def __init__(
         self,
@@ -70,6 +73,7 @@ class Node:
         policy: FlitTablePolicy = FlitTablePolicy.SPAN,
         coalescing_enabled: bool = True,
         spm_factory: Optional[Callable[[int], ScratchpadMemory]] = None,
+        lsq_capacity: Optional[int] = None,
         tracer=NULL_TRACER,
         attrib=NULL_ATTRIBUTION,
     ) -> None:
@@ -98,7 +102,14 @@ class Node:
                     self.system.spm_bytes, self.system.spm_latency_cycles
                 )
             )
-            self.cores.append(InOrderCore(cid, stream, spm=spm))
+            if lsq_capacity is None:
+                self.cores.append(InOrderCore(cid, stream, spm=spm))
+            else:
+                # Shallow LSQs model the paper's strict stall-on-miss base
+                # core: the latency-bound regime the skip engine targets.
+                self.cores.append(
+                    InOrderCore(cid, stream, spm=spm, lsq_capacity=lsq_capacity)
+                )
         self.stats = NodeStats()
         self._cycle = 0
         #: Min-heap of (complete_cycle, seq, response) awaiting delivery.
@@ -107,10 +118,11 @@ class Node:
         #: (target, raw) pairs for remote requesters, collected by the
         #: NUMA system each tick.
         self.pending_remote: List = []
-
-    @property
-    def cycle(self) -> int:
-        return self._cycle
+        #: (tid, tag) -> issuing core, recorded when the MAC accepts a
+        #: request, so response delivery is a dict lookup instead of a
+        #: scan over every core (multithreaded cores may host a thread
+        #: whose tid does not match their position in ``self.cores``).
+        self._issuer: Dict[Tuple[int, int], object] = {}
 
     def done(self) -> bool:
         return (
@@ -161,13 +173,7 @@ class Node:
                     m = raw.marks = {}
                 m["deliver"] = cycle
                 at.finalize(raw)
-            # The issuing core usually matches raw.core, but multithreaded
-            # cores may host the thread elsewhere: fall back to scanning.
-            first = raw.core % len(self.cores)
-            if not self.cores[first].complete(target.tid, target.tag, cycle):
-                for i, core in enumerate(self.cores):
-                    if i != first and core.complete(target.tid, target.tag, cycle):
-                        break
+            self.deliver_completion(target, raw, cycle)
             self.stats.responses_delivered += 1
 
         # 2. Cores issue (round-robin fairness is inherent: all tick).
@@ -176,6 +182,10 @@ class Node:
             if req is not None:
                 if self.mac.submit(req):
                     self.stats.requests_issued += 1
+                    if not req.is_fence:
+                        # Fences never get a response; everything else is
+                        # matched back to its issuer at delivery time.
+                        self._issuer[(req.tid, req.tag)] = core
                 else:
                     # Input queue full: the core re-issues next cycle.
                     core.retry()
@@ -205,6 +215,70 @@ class Node:
                 )
 
         self._cycle += 1
+
+    def deliver_completion(self, target, raw, cycle: int) -> None:
+        """Hand one completed raw request back to the core that issued it.
+
+        The issuer map is populated at submit time, so delivery is O(1);
+        remote completions routed home by the NUMA system take the same
+        path.  The modulo fallback only covers requests that never passed
+        through :meth:`tick`'s submit (e.g. hand-built test traffic).
+        """
+        core = self._issuer.pop((target.tid, target.tag), None)
+        if core is None:
+            core = self.cores[raw.core % len(self.cores)]
+        core.complete(target.tid, target.tag, cycle)
+
+    # -- quiescence skipping -------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which this node can make progress.
+
+        Wake sources: the in-flight response heap head, the loss-recovery
+        timeout deadline (fault injection), and each core's own schedule
+        (SPM retirements, issue cooldowns, finish-cycle stamping).  A
+        busy MAC (anything buffered in its queues, ARQ or builder) pins
+        the node to lockstep, as does any undelivered response payload.
+        """
+        if not self.mac.idle():
+            return now
+        rr = self.mac.response_router
+        if rr.buffered or self.pending_remote:
+            return now
+        wake: Optional[int] = None
+        if self._in_flight:
+            head = self._in_flight[0][0]
+            if head <= now:
+                return now
+            wake = head
+        if self.device.injector is not None and rr.outstanding:
+            deadline = rr.next_timeout_cycle(
+                self.device.config.faults.timeout_cycles
+            )
+            if deadline is not None:
+                if deadline <= now:
+                    return now
+                if wake is None or deadline < wake:
+                    wake = deadline
+        for core in self.cores:
+            w = core.next_event_cycle(now)
+            if w is None:
+                continue
+            if w <= now:
+                return now
+            if wake is None or w < wake:
+                wake = w
+        return wake
+
+    def skip_to(self, target: int) -> None:
+        """Fast-forward the node over a proven-quiescent span."""
+        start = self._cycle
+        if target <= start:
+            return
+        for core in self.cores:
+            core.skip(start, target)
+        self.mac.skip_to(target)
+        self._cycle = target
 
     @classmethod
     def with_multithreaded_cores(
@@ -243,12 +317,14 @@ class Node:
         ]
         return node
 
-    def run(self, max_cycles: int = 50_000_000) -> NodeStats:
-        """Simulate until every stream drains; returns the filled stats."""
-        while not self.done():
-            self.tick()
-            if self._cycle > max_cycles:
-                raise RuntimeError("node simulation exceeded max_cycles")
+    def run(self, max_cycles: int = 50_000_000, engine=None) -> NodeStats:
+        """Simulate until every stream drains; returns the filled stats.
+
+        ``engine`` selects the simulation engine (name or instance, see
+        :mod:`repro.sim`); the default honours ``$REPRO_SIM_ENGINE`` and
+        falls back to lockstep.
+        """
+        self._run_loop(max_cycles, engine=engine)
         st = self.stats
         st.cycles = self._cycle
         st.coalescing_efficiency = self.mac.stats.coalescing_efficiency

@@ -21,6 +21,7 @@ from repro.obs.protocol import StatsMixin
 
 from repro.obs.metrics import flatten
 from repro.obs.tracer import NULL_TRACER
+from repro.sim import ClockedModel
 
 from .interconnect import Interconnect
 from .node import Node
@@ -56,8 +57,10 @@ class SystemStats(StatsMixin):
     reissued_packets: int = 0
 
 
-class NUMASystem:
+class NUMASystem(ClockedModel):
     """A small mesh of MAC-equipped nodes sharing one address space."""
+
+    _overrun_msg = "system simulation exceeded max_cycles"
 
     def __init__(
         self,
@@ -92,10 +95,6 @@ class NUMASystem:
         self.stats = SystemStats()
         self._cycle = 0
 
-    @property
-    def cycle(self) -> int:
-        return self._cycle
-
     def done(self) -> bool:
         return all(node.done() for node in self.nodes) and self.fabric.in_flight == 0
 
@@ -121,8 +120,7 @@ class NUMASystem:
                         )
             else:  # (target, raw) completion pair heading home
                 target, raw = payload
-                core = node.cores[raw.core % len(node.cores)]
-                core.complete(target.tid, target.tag, cycle)
+                node.deliver_completion(target, raw, cycle)
                 self.stats.responses += 1
                 if at.enabled:
                     m = raw.marks
@@ -148,6 +146,39 @@ class NUMASystem:
 
         self._cycle += 1
 
+    # -- quiescence skipping -------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which any part of the mesh acts.
+
+        Wake sources: the fabric's earliest delivery and every node's own
+        schedule.  Undrained outbound-remote traffic (possible only if a
+        caller ticks a node outside :meth:`tick`) pins the system to
+        lockstep rather than risking a missed send.
+        """
+        wake = self.fabric.next_event_cycle(now)
+        if wake is not None and wake <= now:
+            return now
+        for node in self.nodes:
+            if not node.mac.request_router.global_queue.empty:
+                return now
+            w = node.next_event_cycle(now)
+            if w is None:
+                continue
+            if w <= now:
+                return now
+            if wake is None or w < wake:
+                wake = w
+        return wake
+
+    def skip_to(self, target: int) -> None:
+        """Fast-forward the whole mesh over a proven-quiescent span."""
+        if target <= self._cycle:
+            return
+        for node in self.nodes:
+            node.skip_to(target)
+        self._cycle = target
+
     def degraded_nodes(self) -> List[int]:
         """Nodes whose device lost at least one link to a hard fault."""
         return [n.node_id for n in self.nodes if n.degraded]
@@ -165,11 +196,14 @@ class NUMASystem:
             out.update(flatten(node.metrics(), f"node{node.node_id}."))
         return out
 
-    def run(self, max_cycles: int = 50_000_000) -> SystemStats:
-        while not self.done():
-            self.tick()
-            if self._cycle > max_cycles:
-                raise RuntimeError("system simulation exceeded max_cycles")
+    def run(self, max_cycles: int = 50_000_000, engine=None) -> SystemStats:
+        """Simulate until every node drains; returns the filled stats.
+
+        ``engine`` selects the simulation engine (name or instance, see
+        :mod:`repro.sim`); the default honours ``$REPRO_SIM_ENGINE`` and
+        falls back to lockstep.
+        """
+        self._run_loop(max_cycles, engine=engine)
         st = self.stats
         st.cycles = self._cycle
         st.local_requests = sum(

@@ -1,0 +1,34 @@
+"""Unified simulation kernel (DESIGN.md section 10).
+
+Shared clocking machinery for every closed-loop model: the
+:class:`Clocked` component protocol, the :class:`ClockedModel` base class
+(cycle counter + run loop, deduplicated out of ``MAC``, ``Node`` and
+``NUMASystem``) and the two interchangeable engines —
+:class:`LockstepEngine` (one tick per cycle) and :class:`SkipEngine`
+(quiescence detection + fast-forward to the next wake event), which are
+bit-identical by contract.
+"""
+
+from .kernel import (
+    DEFAULT_ENGINE,
+    ENGINE_ENV_VAR,
+    ENGINES,
+    Clocked,
+    ClockedModel,
+    LockstepEngine,
+    SkipEngine,
+    engine_names,
+    get_engine,
+)
+
+__all__ = [
+    "Clocked",
+    "ClockedModel",
+    "LockstepEngine",
+    "SkipEngine",
+    "ENGINES",
+    "ENGINE_ENV_VAR",
+    "DEFAULT_ENGINE",
+    "engine_names",
+    "get_engine",
+]

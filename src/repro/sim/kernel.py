@@ -1,0 +1,230 @@
+"""Shared simulation kernel: the ``Clocked`` protocol and run engines.
+
+Every top-level clocked model in the reproduction — :class:`repro.core.mac.MAC`,
+:class:`repro.node.node.Node`, :class:`repro.node.system.NUMASystem` — used to
+carry its own copy of the same ``_cycle`` counter, ``cycle`` property,
+``done()`` predicate and ``while not done(): tick()`` loop.  This module owns
+that machinery once, and adds the piece the lockstep loops could never
+express: *quiescence skipping*.
+
+Two interchangeable engines drive a :class:`ClockedModel`:
+
+* :class:`LockstepEngine` — exactly the historical semantics: one ``tick()``
+  per cycle until ``done()``, with the model's max-cycles guard.
+* :class:`SkipEngine` — after each tick it asks the model for its earliest
+  *wake event* (``next_event_cycle``).  When the model reports that nothing
+  non-uniform can happen before cycle ``w`` (all cores blocked on an
+  in-flight memory response, MAC drained, fabric empty, no timeout due), the
+  engine calls ``skip_to(w)``: the model bulk-applies the per-cycle
+  accounting the skipped ticks would have performed (stall counters, idle
+  counters, cooldown drains, strided attribution samples) and jumps its
+  cycle counter.  The contract — enforced by the equivalence property tests —
+  is that a skip is **bit-identical** to ticking through the gap: same final
+  cycle count, same ``metrics()`` snapshot, same attribution marks, with or
+  without fault injection.
+
+Engine selection:  pass an engine instance or name (``"lockstep"`` /
+``"skip"``) to any ``run()``; ``None`` falls back to the ``REPRO_SIM_ENGINE``
+environment variable, then to lockstep.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, List, Optional, Protocol, runtime_checkable
+
+#: Environment variable consulted when no engine is given explicitly.
+ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+
+@runtime_checkable
+class Clocked(Protocol):
+    """A component advanced by an external clock.
+
+    ``tick(cycle)`` advances one cycle; ``idle()`` reports whether the
+    component has buffered work; ``next_event_cycle(now)`` reports the
+    earliest cycle >= ``now`` at which ticking could change externally
+    visible state (``None`` = no self-scheduled wake; the component only
+    reacts to external events such as a response delivery).
+    """
+
+    def tick(self, cycle: int): ...
+
+    def idle(self) -> bool: ...
+
+    def next_event_cycle(self, now: int) -> Optional[int]: ...
+
+
+class ClockedModel:
+    """Base class for top-level simulations (MAC, Node, NUMASystem).
+
+    Owns the cycle counter and the run loop; subclasses implement
+    ``done()`` and ``tick()``, and — to benefit from :class:`SkipEngine` —
+    override ``next_event_cycle``/``skip_to``.  The default
+    ``next_event_cycle`` returns ``now`` (never skip), so a model that has
+    not opted in behaves identically under either engine.
+    """
+
+    #: RuntimeError message raised when the max-cycles guard fires.
+    _overrun_msg = "simulation exceeded max_cycles"
+
+    _cycle: int = 0
+
+    @property
+    def cycle(self) -> int:
+        return self._cycle
+
+    def done(self) -> bool:
+        raise NotImplementedError
+
+    def tick(self):
+        raise NotImplementedError
+
+    # -- quiescence skipping (opt-in) ----------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Earliest cycle >= ``now`` at which a non-uniform event can occur.
+
+        Returning ``now`` disables skipping for this step; ``None`` means
+        the model schedules no wake of its own (the engine then falls back
+        to single-stepping, preserving lockstep behaviour — including the
+        max-cycles guard — on models that would otherwise spin forever).
+        """
+        return now
+
+    def skip_to(self, target: int) -> None:
+        """Fast-forward to ``target``, bulk-applying per-cycle accounting.
+
+        Only called by :class:`SkipEngine`, and only with
+        ``self.cycle < target <= next_event_cycle(self.cycle)``.
+        """
+        raise NotImplementedError(
+            f"{type(self).__name__} reported a wake event but does not "
+            "implement skip_to"
+        )
+
+    # -- run loop ------------------------------------------------------------
+
+    def _run_loop(
+        self,
+        max_cycles: int,
+        engine=None,
+        on_tick: Optional[Callable[[list], None]] = None,
+        relative: bool = False,
+    ) -> int:
+        """Drive this model with ``engine`` until ``done()``.
+
+        ``on_tick`` receives any non-empty value returned by ``tick()``
+        (the MAC emits packets from its tick).  With ``relative`` the
+        max-cycles budget counts from the current cycle instead of zero —
+        the MAC's historical drain guard.
+        """
+        return get_engine(engine).run(
+            self, max_cycles, on_tick=on_tick, relative=relative
+        )
+
+
+class LockstepEngine:
+    """One ``tick()`` per cycle — the extracted historical semantics."""
+
+    name = "lockstep"
+
+    def run(
+        self,
+        sim: ClockedModel,
+        max_cycles: int,
+        on_tick: Optional[Callable[[list], None]] = None,
+        relative: bool = False,
+    ) -> int:
+        start = sim.cycle if relative else 0
+        while not sim.done():
+            out = sim.tick()
+            if on_tick is not None and out:
+                on_tick(out)
+            if sim.cycle - start > max_cycles:
+                raise RuntimeError(sim._overrun_msg)
+        return sim.cycle
+
+
+class SkipEngine:
+    """Event-wheel scheduler: fast-forwards through quiescent spans.
+
+    Bit-identical to :class:`LockstepEngine` by construction: a skip is
+    taken only when the model proves, via ``next_event_cycle``, that every
+    cycle in the gap would have been a no-op apart from uniform per-cycle
+    accounting, which ``skip_to`` applies in bulk.
+    """
+
+    name = "skip"
+
+    def run(
+        self,
+        sim: ClockedModel,
+        max_cycles: int,
+        on_tick: Optional[Callable[[list], None]] = None,
+        relative: bool = False,
+    ) -> int:
+        start = sim.cycle if relative else 0
+        limit = start + max_cycles
+        # Probe backoff: during sustained busy phases every probe answers
+        # "now", so double the gap between probes (capped) and pay the
+        # wake-event walk on ~1/64 of busy ticks.  Quiescent ticks are
+        # still entered at most `gap` cycles late — and ticking through
+        # them is lockstep behaviour, so results are unaffected.
+        gap = 0  # current backoff (ticks between probes)
+        wait = 0  # ticks until the next probe
+        while not sim.done():
+            out = sim.tick()
+            if on_tick is not None and out:
+                on_tick(out)
+            if sim.cycle - start > max_cycles:
+                raise RuntimeError(sim._overrun_msg)
+            if wait:
+                wait -= 1
+                continue
+            wake = sim.next_event_cycle(sim.cycle)
+            if wake is not None and wake > sim.cycle:
+                # Never skip past the guard: lockstep raises with the
+                # counter at limit + 1, and so must we.
+                sim.skip_to(min(wake, limit))
+                gap = 0
+            else:
+                gap = min(gap * 2 or 1, 64)
+                wait = gap
+        return sim.cycle
+
+
+#: Engine registry, keyed by CLI-facing name.
+ENGINES = {
+    LockstepEngine.name: LockstepEngine,
+    SkipEngine.name: SkipEngine,
+}
+
+DEFAULT_ENGINE = LockstepEngine.name
+
+
+def engine_names() -> List[str]:
+    """CLI-facing engine names, default first."""
+    return sorted(ENGINES, key=lambda n: n != DEFAULT_ENGINE)
+
+
+def get_engine(spec=None):
+    """Resolve an engine instance from a name, instance, or the environment.
+
+    ``None`` consults ``$REPRO_SIM_ENGINE`` (so a whole test suite can run
+    under the skip engine without touching call sites), then defaults to
+    lockstep.  Unknown names raise ``ValueError``.
+    """
+    if spec is None:
+        spec = os.environ.get(ENGINE_ENV_VAR) or DEFAULT_ENGINE
+    if isinstance(spec, str):
+        try:
+            return ENGINES[spec]()
+        except KeyError:
+            raise ValueError(
+                f"unknown simulation engine {spec!r} "
+                f"(choose from {', '.join(sorted(ENGINES))})"
+            ) from None
+    if hasattr(spec, "run"):
+        return spec
+    raise TypeError(f"engine must be a name or engine instance, got {spec!r}")
