@@ -1,0 +1,97 @@
+"""Supervised pool overhead — plain run_tasks vs run_supervised wall time.
+
+Runs the same 18-cell design-space grid twice on the process pool: once
+through the plain chunked executor (``run_tasks``) and once under the
+crash-resilient supervisor (per-cell dispatch, deadline tracking, retry
+bookkeeping — ``repro.eval.supervisor``).  The two result lists must be
+bit-identical, and the supervised run must stay within 5 % of plain
+wall time (with a small absolute grace so sub-second runs don't gate on
+scheduler noise): resilience is bookkeeping around the cells, never
+work inside them.
+
+The measured ratio lands in the ``BENCH_supervisor_overhead.json``
+artifact, so ``scripts/bench_compare.py`` tracks it across runs.
+"""
+
+import time
+
+from repro.eval.report import format_table
+from repro.eval.runner import cached_trace
+from repro.eval.supervisor import SupervisorConfig
+from repro.eval.sweeps import sweep_grid
+
+from conftest import attach, run_figure
+
+AXES = {
+    "arq_entries": [8, 32, 128],
+    "row_bytes": [128, 256, 512],
+}
+WORKLOADS = ("SG", "IS")
+THREADS = 4
+OPS_PER_THREAD = 2000
+
+#: Relative overhead budget, plus an absolute grace for short runs.
+MAX_OVERHEAD = 0.05
+GRACE_S = 0.25
+
+
+def _grid(jobs: int, supervise=None):
+    return sweep_grid(
+        AXES,
+        workloads=WORKLOADS,
+        threads=THREADS,
+        ops_per_thread=OPS_PER_THREAD,
+        jobs=jobs,
+        supervise=supervise,
+    )
+
+
+def test_supervisor_overhead(benchmark, eval_jobs):
+    jobs = eval_jobs if eval_jobs != 1 else 4
+
+    def measure():
+        for name in WORKLOADS:
+            cached_trace(name, THREADS, OPS_PER_THREAD)
+        _grid(jobs=jobs)  # warm-up: fork/import costs hit neither side
+        t0 = time.perf_counter()
+        plain = _grid(jobs=jobs)
+        t_plain = time.perf_counter() - t0
+        t0 = time.perf_counter()
+        supervised = _grid(jobs=jobs, supervise=SupervisorConfig())
+        t_supervised = time.perf_counter() - t0
+        return plain, supervised, t_plain, t_supervised
+
+    plain, supervised, t_plain, t_supervised = run_figure(
+        benchmark, measure, "Supervisor overhead: plain vs supervised pool"
+    )
+
+    assert supervised == plain  # resilience never changes results
+
+    overhead = (t_supervised - t_plain) / t_plain if t_plain > 0 else 0.0
+    attach(
+        benchmark,
+        cells=len(plain),
+        workers=jobs,
+        plain_s=t_plain,
+        supervised_s=t_supervised,
+        overhead_frac=overhead,
+    )
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ["grid cells", len(plain)],
+                ["workers", jobs],
+                ["plain (s)", round(t_plain, 3)],
+                ["supervised (s)", round(t_supervised, 3)],
+                ["overhead", f"{overhead * 100:+.1f}%"],
+                ["budget", f"{MAX_OVERHEAD * 100:.0f}% + {GRACE_S}s grace"],
+            ],
+            title="supervised pool overhead",
+        )
+    )
+    assert t_supervised <= t_plain * (1 + MAX_OVERHEAD) + GRACE_S, (
+        f"supervisor overhead {overhead * 100:.1f}% exceeds the "
+        f"{MAX_OVERHEAD * 100:.0f}% budget"
+    )

@@ -104,5 +104,9 @@ def pytest_sessionfinish(session, exitstatus) -> None:
             "metrics": info,
         }
         path = out_dir / _artifact_name(bench.name)
-        path.write_text(json.dumps(artifact, indent=2, sort_keys=True))
+        # Atomic write: a crashed/killed session never leaves a torn
+        # artifact for scripts/bench_compare.py to choke on.
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(path, json.dumps(artifact, indent=2, sort_keys=True))
     _RESULTS.clear()

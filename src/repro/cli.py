@@ -220,7 +220,6 @@ def cmd_replay(args) -> int:
 
 def cmd_run(args) -> int:
     import json
-    from pathlib import Path
 
     from repro.eval.runner import dispatch, replay_on_device
     from repro.obs import NULL_ATTRIBUTION, NULL_TRACER, EventTracer
@@ -283,13 +282,16 @@ def cmd_run(args) -> int:
     if args.metrics_out:
         import math
 
+        from repro.ioutil import atomic_write_text
+
         # Undefined ratios (nan) become null: the file stays strict JSON.
         clean = {
             k: (None if isinstance(v, float) and math.isnan(v) else v)
             for k, v in metrics.items()
         }
-        Path(args.metrics_out).write_text(
-            json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str)
+        atomic_write_text(
+            args.metrics_out,
+            json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str),
         )
         print(f"wrote {len(clean)} metrics to {args.metrics_out}")
     return 0
@@ -297,7 +299,6 @@ def cmd_run(args) -> int:
 
 def cmd_analyze(args) -> int:
     import json
-    from pathlib import Path
 
     from repro.obs.analyze import (
         build_report,
@@ -352,8 +353,10 @@ def cmd_analyze(args) -> int:
         return 2
 
     if args.report_out:
-        Path(args.report_out).write_text(
-            json.dumps(report, indent=2, sort_keys=True, default=str)
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(
+            args.report_out, json.dumps(report, indent=2, sort_keys=True, default=str)
         )
         print(f"wrote report to {args.report_out}")
     if args.json:
@@ -363,9 +366,19 @@ def cmd_analyze(args) -> int:
     return 0
 
 
+#: Default checkpoint journal of ``repro figures`` supervised runs.
+DEFAULT_FIGURES_CHECKPOINT = "repro-figures.ckpt.jsonl"
+
+
 def cmd_figures(args) -> int:
     from repro.eval import experiments as E
     from repro.eval.parallel import print_progress, resolve_jobs
+    from repro.eval.supervisor import (
+        CheckpointJournal,
+        SupervisorConfig,
+        SweepInterrupted,
+        SweepReport,
+    )
 
     jobs = resolve_jobs(args.jobs)
     kw = dict(threads=2, ops_per_thread=500) if args.fast else {}
@@ -379,22 +392,83 @@ def cmd_figures(args) -> int:
         # Log every few cells so long figure fan-outs show liveness.
         return print_progress(prefix=f"{tag}: ") if jobs > 1 else None
 
-    if want("fig10"):
-        table = E.fig10_coalescing_efficiency(
-            total_ops=4000 if args.fast else 24000,
-            jobs=jobs,
-            progress=progress("fig10"),
-            log_every=4,
+    # Any resilience flag engages the supervisor; one checkpoint journal
+    # spans all three figure drivers (cells are content-keyed, so records
+    # never collide across figures).
+    supervised = bool(
+        args.supervised
+        or args.resume
+        or args.checkpoint
+        or args.cell_timeout is not None
+        or args.max_retries is not None
+    )
+    journal = None
+    supervise = None
+    report = None
+    if supervised:
+        journal = CheckpointJournal(args.checkpoint or DEFAULT_FIGURES_CHECKPOINT)
+        journal.open(fresh=not args.resume)
+        report = SweepReport()
+        supervise = SupervisorConfig(
+            cell_timeout=args.cell_timeout,
+            max_retries=2 if args.max_retries is None else args.max_retries,
+            journal=journal,
+            resume=args.resume,
+            report=report,
         )
-        avg = statistics.mean(table[8].values())
-        print(f"fig10: avg efficiency @8 threads {pct(avg)} (paper 52.86%)")
-    if want("fig11"):
-        sweep = E.fig11_arq_sweep(progress=progress("fig11"), log_every=4, **kw)
-        print(f"fig11: {[pct(v) for v in sweep.values()]}")
-    if want("fig17"):
-        f17 = E.fig17_speedup(progress=progress("fig17"), log_every=4, **kw)
-        mk = statistics.mean(v["makespan_speedup"] for v in f17.values())
-        print(f"fig17: avg makespan speedup {pct(mk)} (paper 60.73%)")
+
+    try:
+        if want("fig10"):
+            table = E.fig10_coalescing_efficiency(
+                total_ops=4000 if args.fast else 24000,
+                jobs=jobs,
+                progress=progress("fig10"),
+                log_every=4,
+                supervise=supervise,
+            )
+            vals = table.get(8, {})
+            if vals:
+                avg = statistics.mean(vals.values())
+                print(f"fig10: avg efficiency @8 threads {pct(avg)} (paper 52.86%)")
+            else:
+                print("fig10: no surviving cells @8 threads")
+        if want("fig11"):
+            sweep = E.fig11_arq_sweep(
+                progress=progress("fig11"), log_every=4, supervise=supervise, **kw
+            )
+            print(f"fig11: {[pct(v) for v in sweep.values()]}")
+        if want("fig17"):
+            f17 = E.fig17_speedup(
+                progress=progress("fig17"), log_every=4, supervise=supervise, **kw
+            )
+            if f17:
+                mk = statistics.mean(v["makespan_speedup"] for v in f17.values())
+                print(f"fig17: avg makespan speedup {pct(mk)} (paper 60.73%)")
+            else:
+                print("fig17: no surviving cells")
+    except SweepInterrupted as exc:
+        print(f"figures: {exc}", file=sys.stderr)
+        ckpt = args.checkpoint or DEFAULT_FIGURES_CHECKPOINT
+        print(
+            f"figures: partial results saved; rerun with "
+            f"`repro figures --resume --checkpoint {ckpt}` to continue",
+            file=sys.stderr,
+        )
+        return 130
+    finally:
+        if journal is not None:
+            journal.close()
+
+    if report is not None:
+        done = report.completed + report.resumed
+        resumed = f" ({report.resumed} resumed from checkpoint)" if report.resumed else ""
+        print(f"supervised: {done}/{report.total} cells{resumed}")
+        for f in report.failures:
+            print(
+                f"  quarantined cell {f.index} ({f.kind} after "
+                f"{f.attempts} attempts): {f.message}",
+                file=sys.stderr,
+            )
     print("done; see `pytest benchmarks/ --benchmark-only -s` for every figure")
     return 0
 
@@ -565,6 +639,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=1,
         help="worker processes for figure fan-out (1 = serial, 0 = all "
         "cores); results are bit-identical for any value",
+    )
+    res = p.add_argument_group(
+        "resilience (any of these engages the supervised pool)"
+    )
+    res.add_argument(
+        "--supervised",
+        action="store_true",
+        help="run cells under the crash-resilient supervisor: dead "
+        "workers respawn, failing cells retry then quarantine, and "
+        "completed cells checkpoint to a journal",
+    )
+    res.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed cells from the checkpoint journal and "
+        "re-run only the missing ones (after a crash or SIGKILL)",
+    )
+    res.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="PATH",
+        help=f"checkpoint journal path (default {DEFAULT_FIGURES_CHECKPOINT})",
+    )
+    res.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="kill and retry any cell running longer than this",
+    )
+    res.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        help="attempts per cell before quarantine (default 2)",
     )
     p.set_defaults(func=cmd_figures)
 

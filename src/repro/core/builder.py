@@ -68,6 +68,14 @@ class RequestBuilder:
         """Whether stage 1 can latch a new ARQ entry this cycle."""
         return self._stage1 is None
 
+    def pending_requests(self) -> int:
+        """Raw requests latched in the pipeline (conservation checks)."""
+        return sum(
+            len(slot.entry.requests)
+            for slot in (self._stage1, self._stage2)
+            if slot is not None
+        )
+
     # -- pipeline ------------------------------------------------------------
 
     def accept(self, entry: ARQEntry) -> None:

@@ -214,6 +214,16 @@ class MAC(ClockedModel):
         request is dropped.  This is the standard way to coalesce a
         pre-recorded trace with the cycle engine.
         """
+        from ..sim import get_engine
+        from ..sim.watchdog import NULL_WATCHDOG
+
+        eng = get_engine(engine)
+        # The drain phase runs under the engine's watchdog; the manual
+        # backpressure feed loop here must be observed by the same one so
+        # a MAC that stops accepting *and* stops draining is caught too.
+        wd = getattr(eng, "watchdog", NULL_WATCHDOG)
+        if wd.enabled:
+            wd.reset()
         out: List[CoalescedRequest] = []
         cycles = 0
         it = iter(requests)
@@ -223,11 +233,97 @@ class MAC(ClockedModel):
                 pending = next(it, None)
             else:
                 out.extend(self.tick())
+                if wd.enabled:
+                    wd.observe(self)
                 cycles += 1
                 if cycles > max_cycles:
                     raise RuntimeError("MAC made no progress within max_cycles")
-        out.extend(self.run(max_cycles, engine=engine))
+        out.extend(self.run(max_cycles, engine=eng))
         return out
+
+    # -- robustness introspection (see repro.sim.watchdog) -------------------
+
+    def pending_request_count(self) -> int:
+        """Non-fence raw requests buffered anywhere inside the MAC."""
+        rr = self.request_router
+        queued = sum(
+            1
+            for q in (rr.local_queue, rr.remote_queue, rr.global_queue)
+            for req in q._q
+            if not req.is_fence
+        )
+        arq = sum(
+            len(e.requests)
+            for e in self.aggregator.arq.entries()
+            if not e.fence
+        )
+        return queued + arq + self.aggregator.builder.pending_requests()
+
+    def progress_token(self):
+        """Fingerprint that changes whenever the MAC makes forward progress."""
+        rr = self.request_router
+        return (
+            self.stats.raw_requests,
+            self.stats.coalesced_packets,
+            len(rr.local_queue),
+            len(rr.remote_queue),
+            len(rr.global_queue),
+            len(self.aggregator.arq),
+            self.aggregator.builder.stage1_busy,
+            self.aggregator.builder.stage2_busy,
+            self.response_router.buffered,
+            self.response_router.local_deliveries,
+            self.response_router.remote_deliveries,
+        )
+
+    def hang_snapshot(self) -> dict:
+        """Diagnostic state attached to a :class:`SimulationHang`."""
+        rr = self.request_router
+        builder = self.aggregator.builder
+        return {
+            "cycle": self.cycle,
+            "local_queue": len(rr.local_queue),
+            "remote_queue": len(rr.remote_queue),
+            "global_queue": len(rr.global_queue),
+            "arq_occupancy": len(self.aggregator.arq),
+            "arq_free": self.aggregator.arq.free_entries,
+            "builder_stage1": builder.stage1_busy,
+            "builder_stage2": builder.stage2_busy,
+            "responses_buffered": self.response_router.buffered,
+            "outstanding_packets": len(self.response_router.outstanding),
+        }
+
+    def check_invariants(self) -> None:
+        """Occupancy-bound checks (``REPRO_SIM_CHECK=1``); raise on breach."""
+        from ..sim.watchdog import InvariantViolation
+
+        cycle = self.cycle
+        rr = self.request_router
+        for q in (rr.local_queue, rr.remote_queue, rr.global_queue):
+            if len(q) > q.capacity:
+                raise InvariantViolation(
+                    cycle, f"{q.name} queue over capacity ({len(q)}/{q.capacity})"
+                )
+        arq = self.aggregator.arq
+        if len(arq) > self.config.arq_entries:
+            raise InvariantViolation(
+                cycle,
+                f"ARQ over capacity ({len(arq)}/{self.config.arq_entries})",
+            )
+        cap = self.config.target_capacity
+        for entry in arq.entries():
+            if entry.target_count > cap:
+                raise InvariantViolation(
+                    cycle,
+                    f"ARQ entry holds {entry.target_count} targets (cap {cap})",
+                )
+        resp = self.response_router
+        if resp.buffered > resp.buffer_capacity:
+            raise InvariantViolation(
+                cycle,
+                f"response buffer over capacity "
+                f"({resp.buffered}/{resp.buffer_capacity})",
+            )
 
     # -- responses ----------------------------------------------------------
 

@@ -177,6 +177,10 @@ class ResponseRouter:
     def buffered(self) -> int:
         return len(self._buffer)
 
+    def buffered_raw_count(self) -> int:
+        """Raw requests inside buffered responses (conservation checks)."""
+        return sum(len(resp.request.requests) for resp in self._buffer)
+
     # -- loss recovery (fault injection only) -------------------------------
 
     def register_dispatch(self, packet, cycle: int) -> int:

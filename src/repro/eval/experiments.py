@@ -27,6 +27,7 @@ from repro.workloads.registry import BENCHMARKS, benchmark_names
 from . import metrics
 from .area import mac_area
 from .parallel import ProgressFn, run_tasks
+from .supervisor import CellFailure
 from .runner import (
     DEFAULT_OPS_PER_THREAD,
     DEFAULT_THREADS,
@@ -101,6 +102,7 @@ def closed_loop_summary(
     engine: Optional[str] = None,
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
+    supervise=None,
 ) -> Dict[str, Dict[str, Any]]:
     """Closed-loop Fig. 4 node run per benchmark (end-to-end numbers).
 
@@ -111,8 +113,14 @@ def closed_loop_summary(
     """
     names = benchmark_names()
     tasks = [(name, threads, ops_per_thread, engine) for name in names]
-    cells = run_tasks(_closed_loop_cell, tasks, jobs=jobs, progress=progress)
-    return dict(zip(names, cells))
+    cells = run_tasks(
+        _closed_loop_cell, tasks, jobs=jobs, progress=progress, supervise=supervise
+    )
+    return {
+        name: cell
+        for name, cell in zip(names, cells)
+        if not isinstance(cell, CellFailure)
+    }
 
 
 # ---------------------------------------------------------------------------
@@ -249,22 +257,29 @@ def fig10_coalescing_efficiency(
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     log_every: int = 1,
+    supervise=None,
 ) -> Dict[int, Dict[str, float]]:
     """Fig. 10: {threads: {benchmark: efficiency}}.
 
     Paper: averages 48.37 / 50.51 / 52.86 % for 2/4/8 threads; >60 % for
-    MG, GRAPPOLO, SG, SP and SPARSELU at 8 threads.
+    MG, GRAPPOLO, SG, SP and SPARSELU at 8 threads.  Under a supervised
+    run (``supervise``), quarantined cells are simply absent from the
+    inner dicts.
     """
     names = benchmark_names()
     tasks = [
         (name, t, total_ops // t, ()) for t in thread_counts for name in names
     ]
-    cells = run_tasks(_mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
-    it = iter(cells)
-    return {
-        t: {name: next(it)["efficiency"] for name in names}
-        for t in thread_counts
-    }
+    cells = run_tasks(
+        _mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every,
+        supervise=supervise,
+    )
+    out: Dict[int, Dict[str, float]] = {t: {} for t in thread_counts}
+    for (name, t, _ops, _cfg), cell in zip(tasks, cells):
+        if isinstance(cell, CellFailure):
+            continue
+        out[t][name] = cell["efficiency"]
+    return out
 
 
 # ---------------------------------------------------------------------------
@@ -279,11 +294,14 @@ def fig11_arq_sweep(
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     log_every: int = 1,
+    supervise=None,
 ) -> Dict[int, float]:
     """Fig. 11: suite-average efficiency per ARQ entry count.
 
     Paper: 37.58 % -> 56.04 % from 8 to 256 entries with diminishing
-    returns (+22.11 / +15.72 / +5.53 % relative at 16/32/64).
+    returns (+22.11 / +15.72 / +5.53 % relative at 16/32/64).  Under a
+    supervised run, each entry count averages over its surviving cells;
+    an entry count whose cells all quarantined is omitted.
     """
     names = benchmark_names()
     tasks = [
@@ -291,11 +309,16 @@ def fig11_arq_sweep(
         for n in entries
         for name in names
     ]
-    cells = run_tasks(_mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
-    it = iter(cells)
-    return {
-        n: statistics.mean(next(it)["efficiency"] for _ in names) for n in entries
-    }
+    cells = run_tasks(
+        _mac_cell, tasks, jobs=jobs, progress=progress, log_every=log_every,
+        supervise=supervise,
+    )
+    acc: Dict[int, list] = {n: [] for n in entries}
+    for (_name, _th, _ops, cfg), cell in zip(tasks, cells):
+        if isinstance(cell, CellFailure):
+            continue
+        acc[dict(cfg)["arq_entries"]].append(cell["efficiency"])
+    return {n: statistics.mean(vals) for n, vals in acc.items() if vals}
 
 
 # ---------------------------------------------------------------------------
@@ -309,6 +332,7 @@ def fig12_bank_conflicts(
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     log_every: int = 1,
+    supervise=None,
 ) -> Dict[str, Tuple[int, int]]:
     """Fig. 12: {benchmark: (conflicts without MAC, with MAC)}.
 
@@ -319,10 +343,14 @@ def fig12_bank_conflicts(
     """
     names = benchmark_names()
     tasks = [(name, threads, ops_per_thread) for name in names]
-    cells = run_tasks(_compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    cells = run_tasks(
+        _compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every,
+        supervise=supervise,
+    )
     return {
         name: (cell["raw_conflicts"], cell["mac_conflicts"])
         for name, cell in zip(names, cells)
+        if not isinstance(cell, CellFailure)
     }
 
 
@@ -429,6 +457,7 @@ def fig17_speedup(
     jobs: int = 1,
     progress: Optional[ProgressFn] = None,
     log_every: int = 1,
+    supervise=None,
 ) -> Dict[str, Dict[str, float]]:
     """Fig. 17: per-benchmark memory-system latency reduction.
 
@@ -439,7 +468,10 @@ def fig17_speedup(
     """
     names = benchmark_names()
     tasks = [(name, threads, ops_per_thread) for name in names]
-    cells = run_tasks(_compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every)
+    cells = run_tasks(
+        _compare_cell, tasks, jobs=jobs, progress=progress, log_every=log_every,
+        supervise=supervise,
+    )
     return {
         name: {
             "makespan_speedup": metrics.speedup(
@@ -450,6 +482,7 @@ def fig17_speedup(
             ),
         }
         for name, cell in zip(names, cells)
+        if not isinstance(cell, CellFailure)
     }
 
 

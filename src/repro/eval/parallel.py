@@ -123,6 +123,8 @@ def run_tasks(
     log_every: int = 1,
     chunksize: Optional[int] = None,
     warm: Optional[Sequence[WarmSpec]] = None,
+    supervise=None,
+    codec=None,
 ) -> List[R]:
     """Map ``fn`` over ``tasks``, optionally on a process pool.
 
@@ -137,11 +139,32 @@ def run_tasks(
             per worker.
         warm: trace specs pre-generated in each worker's cache (see
             :func:`repro.eval.runner.warm_trace_cache`).
+        supervise: a :class:`repro.eval.supervisor.SupervisorConfig` (or
+            ``True`` for defaults) to run under the crash-resilient
+            supervisor: per-cell timeouts, retry/quarantine and the
+            resumable checkpoint journal.  Quarantined cells come back
+            as :class:`repro.eval.supervisor.CellFailure` in their slot.
+        codec: ``(encode, decode)`` pair converting results to/from the
+            JSON payloads of the checkpoint journal (supervised only).
 
     Returns:
         ``[fn(t) for t in tasks]`` — bit-identical to the serial run
         regardless of worker count or completion order.
     """
+    if supervise is not None and supervise is not False:
+        from .supervisor import SupervisorConfig, run_supervised
+
+        cfg = supervise if isinstance(supervise, SupervisorConfig) else SupervisorConfig()
+        return run_supervised(
+            fn,
+            tasks,
+            jobs=jobs,
+            config=cfg,
+            progress=progress,
+            log_every=log_every,
+            warm=warm,
+            codec=codec,
+        )
     items = list(tasks)
     total = len(items)
     if total == 0:

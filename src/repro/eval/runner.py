@@ -10,9 +10,11 @@ packets at the builder's 0.5/cycle issue rate, section 4.4).
 
 from __future__ import annotations
 
+import pickle
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.baselines.direct import dispatch_raw
 from repro.core.config import MACConfig
@@ -97,6 +99,38 @@ class TraceCache:
             "hits": self.hits,
             "misses": self.misses,
         }
+
+    def save(self, path: Union[str, Path]) -> int:
+        """Persist the cached traces to ``path`` (atomic pickle).
+
+        The write goes through :func:`repro.ioutil.atomic_open`, so a
+        crash mid-save leaves any previous snapshot intact.  Returns the
+        number of traces written.
+        """
+        from repro.ioutil import atomic_open
+
+        with atomic_open(path, "wb") as fh:
+            pickle.dump({"version": 1, "traces": dict(self._data)}, fh)
+        return len(self._data)
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge a :meth:`save` snapshot into this cache (LRU order kept).
+
+        Entries beyond ``maxsize`` are evicted oldest-first as usual.
+        Returns the number of traces loaded.  Raises ``ValueError`` on a
+        snapshot this version cannot read.
+        """
+        with open(path, "rb") as fh:
+            doc = pickle.load(fh)
+        if not isinstance(doc, dict) or doc.get("version") != 1:
+            raise ValueError(f"unrecognized trace-cache snapshot: {path}")
+        traces = doc["traces"]
+        for key, value in traces.items():
+            self._data[key] = value
+            self._data.move_to_end(key)
+        while len(self._data) > self.maxsize:
+            self._data.popitem(last=False)
+        return len(traces)
 
 
 #: Per-process trace cache (per *worker* under the parallel engine).

@@ -1,0 +1,651 @@
+"""Supervised worker pool: timeouts, retries, quarantine, checkpoints.
+
+:func:`repro.eval.parallel.run_tasks` gives the evaluation layer a
+deterministic fork-pool map, but a fragile one: one crashed worker kills
+the whole sweep, one hung cell blocks the pool forever, and an
+interrupted 1000-cell run restarts from zero.  This module wraps the
+same task-list shape with the supervision discipline a long measurement
+campaign needs:
+
+* **Per-cell wall-clock timeouts** — a cell that exceeds
+  ``cell_timeout`` seconds has its worker killed and respawned; the cell
+  is retried on another worker.
+* **Dead-worker detection** — a worker that exits (nonzero status,
+  ``os._exit``, OOM kill) is detected by EOF on its pipe; its in-flight
+  cell is retried and the worker replaced.
+* **Bounded retry with exponential backoff** — each failing cell is
+  retried up to ``max_retries`` times with ``backoff_base * 2**n``
+  second delays (capped at ``backoff_cap``).
+* **Quarantine** — a cell that exhausts its retry budget becomes a
+  structured :class:`CellFailure` in its result slot instead of
+  aborting the sweep; every healthy cell still completes.
+* **Checkpoint journal** — with ``journal`` set, each finished cell is
+  appended to a JSONL file keyed by a content hash of (task function,
+  task descriptor).  After a crash or SIGKILL, ``resume=True`` replays
+  completed cells from the journal and re-runs only the missing ones.
+* **Graceful SIGINT/SIGTERM** — in-flight cells get ``grace`` seconds
+  to drain, the journal is flushed, and :class:`SweepInterrupted` is
+  raised so the CLI can print a "resume with --resume" hint instead of
+  a traceback.
+
+Determinism contract: the supervisor never re-seeds or re-orders work —
+results are slotted by task index and every cell derives its seed from
+its own task descriptor (:func:`repro.seeding.derive_seeds`), so a
+retried, resumed, or quarantine-scarred run is bit-identical, cell for
+surviving cell, to an uninterrupted serial run.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import heapq
+import json
+import multiprocessing as mp
+import os
+import signal
+import threading
+import time
+from collections import deque
+from multiprocessing import connection
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+from .parallel import (
+    ProgressFn,
+    WarmSpec,
+    _init_worker,
+    _ProgressGate,
+    pool_available,
+    resolve_jobs,
+)
+
+#: Result codec: (encode to JSON-able payload, decode payload back).
+Codec = Tuple[Callable[[Any], Any], Callable[[Any], Any]]
+
+
+# ---------------------------------------------------------------------------
+# Structured outcomes
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CellFailure:
+    """A quarantined cell: all attempts failed; the sweep carried on.
+
+    Occupies the cell's result slot, so aggregation code can skip it
+    (``isinstance(cell, CellFailure)``) while every other cell keeps its
+    position — the determinism contract of the surviving results.
+    """
+
+    index: int
+    key: str
+    kind: str  # "timeout" | "crash" | "error"
+    attempts: int
+    message: str
+
+    def to_payload(self) -> Dict[str, Any]:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "CellFailure":
+        return cls(
+            index=int(payload["index"]),
+            key=str(payload["key"]),
+            kind=str(payload["kind"]),
+            attempts=int(payload["attempts"]),
+            message=str(payload["message"]),
+        )
+
+
+class SweepInterrupted(RuntimeError):
+    """The sweep was stopped by SIGINT/SIGTERM after a graceful drain."""
+
+    def __init__(self, completed: int, total: int, journal: Optional[Path]):
+        self.completed = completed
+        self.total = total
+        self.journal = journal
+        hint = f"; resume with --resume (journal: {journal})" if journal else ""
+        super().__init__(
+            f"sweep interrupted after {completed}/{total} cells{hint}"
+        )
+
+
+@dataclasses.dataclass
+class SweepReport:
+    """Counters of one supervised run (fill by passing to run_supervised)."""
+
+    total: int = 0
+    completed: int = 0
+    resumed: int = 0
+    retried: int = 0
+    failures: List[CellFailure] = dataclasses.field(default_factory=list)
+
+
+@dataclasses.dataclass
+class SupervisorConfig:
+    """Knobs of :func:`run_supervised` (all optional)."""
+
+    #: Seconds a single cell may run before its worker is killed
+    #: (None = no timeout).  Enforced only on the pool path — a serial
+    #: run cannot preempt its own cell.
+    cell_timeout: Optional[float] = None
+    #: Retries per cell before quarantine.
+    max_retries: int = 2
+    #: First retry delay in seconds; doubles per attempt.
+    backoff_base: float = 0.05
+    #: Ceiling on the backoff delay.
+    backoff_cap: float = 2.0
+    #: Checkpoint journal: a path or an (already managed) instance.
+    journal: Optional[Union[str, Path, "CheckpointJournal"]] = None
+    #: Replay completed cells from the journal instead of re-running.
+    resume: bool = False
+    #: Seconds in-flight cells may drain after SIGINT/SIGTERM.
+    grace: float = 5.0
+    #: Install SIGINT/SIGTERM handlers for graceful shutdown (skipped
+    #: automatically off the main thread).
+    handle_signals: bool = True
+    #: Optional :class:`SweepReport` accumulating counters across every
+    #: run that uses this config (counters add up, so one report can
+    #: cover several drivers sharing one journal).
+    report: Optional["SweepReport"] = None
+
+
+# ---------------------------------------------------------------------------
+# Content-hashed cell keys
+# ---------------------------------------------------------------------------
+
+
+def _canon(obj: Any) -> Any:
+    """Canonical JSON-able form of a task descriptor (order-stable)."""
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "__dataclass__": type(obj).__name__,
+            "fields": {
+                f.name: _canon(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, enum.Enum):
+        return _canon(obj.value)
+    if isinstance(obj, dict):
+        return {str(k): _canon(v) for k, v in sorted(obj.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(obj, (list, tuple)):
+        return [_canon(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError(
+        f"task descriptor contains un-canonicalizable {type(obj).__name__}; "
+        "checkpoint keys need plain data (tuples, dataclasses, primitives)"
+    )
+
+
+def cell_key(fn: Callable, task: Any) -> str:
+    """Content hash identifying one (task function, task descriptor) cell.
+
+    Stable across processes and sessions, so a resumed run maps journal
+    records back to cells regardless of list position or worker count.
+    """
+    doc = {
+        "fn": f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}",
+        "task": _canon(task),
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# Checkpoint journal
+# ---------------------------------------------------------------------------
+
+
+class CheckpointJournal:
+    """Append-only JSONL record of finished cells, safe against SIGKILL.
+
+    Every record is flushed and fsynced as it is written; the loader
+    skips corrupt or truncated lines (at most the final record can be
+    torn by a crash), so any journal that exists is resumable.  One
+    journal may serve several :func:`run_supervised` calls (e.g. the
+    three figure drivers of ``repro figures``) — keys are content
+    hashes, so records never collide across task lists.
+    """
+
+    MAGIC = "repro-checkpoint-v1"
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+        self._fh = None
+
+    @property
+    def is_open(self) -> bool:
+        return self._fh is not None
+
+    def load(self) -> Dict[str, Dict[str, Any]]:
+        """Key -> latest record; tolerant of torn/corrupt lines."""
+        records: Dict[str, Dict[str, Any]] = {}
+        try:
+            text = self.path.read_text()
+        except (FileNotFoundError, OSError):
+            return records
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rec = json.loads(line)
+            except ValueError:
+                continue  # torn final line from a crash mid-write
+            if not isinstance(rec, dict):
+                continue
+            key = rec.get("key")
+            if key:
+                records[str(key)] = rec
+        return records
+
+    def open(self, fresh: bool = False) -> "CheckpointJournal":
+        """Open for appending (``fresh`` starts a new journal). Idempotent."""
+        if self._fh is not None:
+            return self
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w" if fresh else "a")
+        if fresh or self.path.stat().st_size == 0:
+            self._write({"magic": self.MAGIC})
+        return self
+
+    def record(self, key: str, status: str, **fields: Any) -> None:
+        """Append one cell outcome; durable before the call returns."""
+        if self._fh is None:
+            self.open()
+        try:
+            self._write({"key": key, "status": status, **fields})
+        except TypeError:
+            raise TypeError(
+                "checkpoint payload is not JSON-serializable; pass a codec "
+                "(encode/decode) to run_supervised for this result type"
+            ) from None
+
+    def _write(self, doc: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(doc, sort_keys=True) + "\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "CheckpointJournal":
+        return self.open()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+
+def _worker_main(conn, fn: Callable, warm: Tuple[WarmSpec, ...]) -> None:
+    """Worker loop: recv (index, task), send (index, status, payload).
+
+    SIGINT is ignored so Ctrl-C in the parent's terminal (delivered to
+    the whole foreground process group) does not kill workers mid-cell;
+    the parent owns shutdown via the pipe (or SIGKILL on timeout).
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    _init_worker(warm)
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return
+        if msg is None:
+            return
+        index, task = msg
+        try:
+            result = fn(task)
+        except Exception as exc:
+            conn.send((index, "error", f"{type(exc).__name__}: {exc}"))
+        else:
+            conn.send((index, "ok", result))
+
+
+class _Worker:
+    """Parent-side handle of one supervised worker process."""
+
+    def __init__(self, ctx, fn: Callable, warm: Tuple[WarmSpec, ...]):
+        self.conn, child = ctx.Pipe(duplex=True)
+        self.proc = ctx.Process(
+            target=_worker_main, args=(child, fn, warm), daemon=True
+        )
+        self.proc.start()
+        child.close()
+        #: (index, task, attempts) of the in-flight cell, or None.
+        self.job: Optional[Tuple[int, Any, int]] = None
+        #: Monotonic deadline of the in-flight cell (math.inf = none).
+        self.deadline = float("inf")
+
+    def assign(self, index: int, task: Any, attempts: int, timeout: Optional[float]):
+        self.job = (index, task, attempts)
+        self.deadline = (
+            time.monotonic() + timeout if timeout is not None else float("inf")
+        )
+        self.conn.send((index, task))
+
+    def stop(self) -> None:
+        """Ask the worker to exit after its current cell."""
+        try:
+            self.conn.send(None)
+        except (BrokenPipeError, OSError):
+            pass
+
+    def kill(self) -> None:
+        try:
+            self.proc.kill()
+        except (OSError, AttributeError):  # pragma: no cover
+            pass
+        self.proc.join(timeout=5.0)
+        try:
+            self.conn.close()
+        except OSError:  # pragma: no cover
+            pass
+
+
+# ---------------------------------------------------------------------------
+# Supervisor
+# ---------------------------------------------------------------------------
+
+
+def run_supervised(
+    fn: Callable[[Any], Any],
+    tasks: Iterable[Any],
+    jobs: Optional[int] = 1,
+    config: Optional[SupervisorConfig] = None,
+    progress: Optional[ProgressFn] = None,
+    log_every: int = 1,
+    warm: Optional[Sequence[WarmSpec]] = None,
+    codec: Optional[Codec] = None,
+    report: Optional[SweepReport] = None,
+) -> List[Any]:
+    """Map ``fn`` over ``tasks`` under supervision.
+
+    Same shape and determinism contract as
+    :func:`repro.eval.parallel.run_tasks`, plus the robustness behaviour
+    of :class:`SupervisorConfig`: results come back in task order, with
+    quarantined cells replaced by :class:`CellFailure` instead of
+    aborting.  ``codec=(encode, decode)`` converts results to/from the
+    JSON payloads stored in the checkpoint journal (identity when the
+    results are already plain JSON data).
+    """
+    cfg = config or SupervisorConfig()
+    items = list(tasks)
+    total = len(items)
+    if report is None:
+        report = cfg.report
+    if report is not None:
+        report.total += total
+    if total == 0:
+        return []
+    encode, decode = codec if codec is not None else (lambda x: x, lambda x: x)
+
+    # -- journal + resume prefill -------------------------------------------
+    journal: Optional[CheckpointJournal] = None
+    own_journal = False
+    if cfg.journal is not None:
+        if isinstance(cfg.journal, CheckpointJournal):
+            journal = cfg.journal
+        else:
+            journal = CheckpointJournal(cfg.journal)
+            own_journal = True
+    keys = [cell_key(fn, task) for task in items] if journal is not None else None
+    results: List[Any] = [_UNRESOLVED] * total
+    resumed = 0
+    if journal is not None and cfg.resume:
+        seen = journal.load()
+        for i, key in enumerate(keys):
+            rec = seen.get(key)
+            if rec is not None and rec.get("status") == "ok":
+                results[i] = decode(rec.get("payload"))
+                resumed += 1
+    if journal is not None and not journal.is_open:
+        journal.open(fresh=not cfg.resume)
+    if report is not None:
+        report.resumed += resumed
+
+    gate = _ProgressGate(progress, total, log_every)
+    gate.advance(resumed)
+    todo = [i for i in range(total) if results[i] is _UNRESOLVED]
+
+    # -- graceful signal shutdown -------------------------------------------
+    interrupted: List[int] = []
+    installed: List[Tuple[int, Any]] = []
+    if cfg.handle_signals and threading.current_thread() is threading.main_thread():
+        def _on_signal(signum, frame):
+            interrupted.append(signum)
+
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                installed.append((sig, signal.signal(sig, _on_signal)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+
+    def _finish(index: int, value: Any, status: str, **fields: Any) -> None:
+        results[index] = value
+        gate.advance()
+        if report is not None:
+            report.completed += 1
+            if isinstance(value, CellFailure):
+                report.failures.append(value)
+        if journal is not None:
+            payload = value.to_payload() if isinstance(value, CellFailure) else encode(value)
+            journal.record(keys[index], status, payload=payload, **fields)
+
+    try:
+        if todo:
+            n_jobs = min(resolve_jobs(jobs), len(todo))
+            if n_jobs == 1 or not pool_available():
+                _run_serial(fn, items, todo, cfg, interrupted, _finish, report)
+            else:
+                _run_pool(
+                    fn, items, todo, n_jobs, cfg, warm, interrupted, _finish, report
+                )
+        if interrupted:
+            completed = sum(1 for r in results if r is not _UNRESOLVED)
+            raise SweepInterrupted(
+                completed, total, journal.path if journal is not None else None
+            )
+    finally:
+        for sig, old in installed:
+            signal.signal(sig, old)
+        if journal is not None and own_journal:
+            journal.close()
+    return results
+
+
+#: Placeholder marking result slots not yet produced (never returned).
+_UNRESOLVED = object()
+
+
+def _backoff_delay(cfg: SupervisorConfig, attempts: int) -> float:
+    return min(cfg.backoff_cap, cfg.backoff_base * (2 ** max(attempts - 1, 0)))
+
+
+def _run_serial(
+    fn: Callable,
+    items: Sequence[Any],
+    todo: Sequence[int],
+    cfg: SupervisorConfig,
+    interrupted: List[int],
+    finish: Callable,
+    report: Optional[SweepReport],
+) -> None:
+    """In-process fallback: no preemption, but retries/quarantine/journal."""
+    for index in todo:
+        if interrupted:
+            return
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                result = fn(items[index])
+            except Exception as exc:
+                if attempts > cfg.max_retries:
+                    finish(
+                        index,
+                        CellFailure(
+                            index,
+                            cell_key(fn, items[index]),
+                            "error",
+                            attempts,
+                            f"{type(exc).__name__}: {exc}",
+                        ),
+                        "failed",
+                    )
+                    break
+                if report is not None:
+                    report.retried += 1
+                time.sleep(_backoff_delay(cfg, attempts))
+            else:
+                finish(index, result, "ok")
+                break
+
+
+def _run_pool(
+    fn: Callable,
+    items: Sequence[Any],
+    todo: Sequence[int],
+    n_jobs: int,
+    cfg: SupervisorConfig,
+    warm: Optional[Sequence[WarmSpec]],
+    interrupted: List[int],
+    finish: Callable,
+    report: Optional[SweepReport],
+) -> None:
+    """Fork-pool path with timeouts, dead-worker respawn and backoff."""
+    ctx = mp.get_context("fork")
+    warm_t = tuple(warm or ())
+    workers = [_Worker(ctx, fn, warm_t) for _ in range(n_jobs)]
+    pending: deque = deque((i, items[i], 0) for i in todo)
+    delayed: List[Tuple[float, int, Tuple[int, Any, int]]] = []
+    seq = 0
+    outstanding = len(todo)
+    drain_deadline: Optional[float] = None
+
+    def _retry_or_quarantine(index: int, task: Any, attempts: int, kind: str, msg: str):
+        nonlocal seq, outstanding
+        attempts += 1
+        if attempts > cfg.max_retries:
+            finish(
+                index,
+                CellFailure(index, cell_key(fn, task), kind, attempts, msg),
+                "failed",
+                kind=kind,
+                attempts=attempts,
+            )
+            outstanding -= 1
+        else:
+            if report is not None:
+                report.retried += 1
+            seq += 1
+            heapq.heappush(
+                delayed,
+                (time.monotonic() + _backoff_delay(cfg, attempts), seq, (index, task, attempts)),
+            )
+
+    def _replace(worker: _Worker) -> _Worker:
+        worker.kill()
+        fresh = _Worker(ctx, fn, warm_t)
+        workers[workers.index(worker)] = fresh
+        return fresh
+
+    try:
+        while outstanding > 0:
+            now = time.monotonic()
+            if interrupted and drain_deadline is None:
+                drain_deadline = now + cfg.grace
+            # Promote delayed retries whose backoff has elapsed.
+            while delayed and delayed[0][0] <= now:
+                pending.append(heapq.heappop(delayed)[2])
+            # Dispatch to idle workers (not while draining an interrupt).
+            if not interrupted:
+                for w in workers:
+                    if w.job is None and pending:
+                        index, task, attempts = pending.popleft()
+                        w.assign(index, task, attempts, cfg.cell_timeout)
+            busy = [w for w in workers if w.job is not None]
+            if interrupted:
+                if not busy or now >= drain_deadline:
+                    return  # journal is already flushed per record
+            elif not busy:
+                if pending:
+                    continue
+                if delayed:
+                    time.sleep(max(0.0, delayed[0][0] - now))
+                    continue
+                return  # nothing outstanding anywhere (defensive)
+            # Wait for results, bounded so deadlines/signals stay live.
+            wait_until = min(
+                [w.deadline for w in busy] or [now + 0.25],
+            )
+            if delayed:
+                wait_until = min(wait_until, delayed[0][0])
+            if drain_deadline is not None:
+                wait_until = min(wait_until, drain_deadline)
+            timeout = max(0.0, min(wait_until - now, 0.25))
+            ready = connection.wait([w.conn for w in busy], timeout)
+            by_conn = {w.conn: w for w in busy}
+            for conn in ready:
+                w = by_conn[conn]
+                index, task, attempts = w.job
+                try:
+                    got_index, status, payload = conn.recv()
+                except (EOFError, OSError):
+                    # Worker died mid-cell (os._exit, OOM kill, segfault).
+                    _replace(w)
+                    _retry_or_quarantine(
+                        index, task, attempts, "crash",
+                        f"worker exited (code {w.proc.exitcode})",
+                    )
+                    continue
+                w.job = None
+                w.deadline = float("inf")
+                assert got_index == index, "worker answered the wrong cell"
+                if status == "ok":
+                    finish(index, payload, "ok")
+                    outstanding -= 1
+                else:
+                    _retry_or_quarantine(index, task, attempts, "error", payload)
+            # Enforce per-cell deadlines on workers that stayed silent.
+            if cfg.cell_timeout is not None:
+                now = time.monotonic()
+                for w in list(workers):
+                    if w.job is not None and now >= w.deadline:
+                        index, task, attempts = w.job
+                        _replace(w)
+                        _retry_or_quarantine(
+                            index, task, attempts, "timeout",
+                            f"cell exceeded {cfg.cell_timeout:.3g}s",
+                        )
+    finally:
+        for w in workers:
+            if w.job is None and w.proc.is_alive():
+                w.stop()
+        for w in workers:
+            if w.job is not None:
+                w.kill()  # interrupted mid-cell or supervisor error
+            else:
+                w.proc.join(timeout=2.0)
+                if w.proc.is_alive():  # pragma: no cover
+                    w.kill()

@@ -78,6 +78,15 @@ class CreditPool:
         while self._returns and self._returns[0][0] <= cycle:
             self.available += self._returns.pop(0)[1]
 
+    @property
+    def queued_returns(self) -> int:
+        """Credits scheduled to return but not yet reclaimed.
+
+        ``available + queued_returns == capacity`` at all times — the
+        token-conservation invariant the simulation sanitizer checks.
+        """
+        return sum(n for _, n in self._returns)
+
     def acquire(self, start: int, amount: int) -> int:
         """Earliest cycle >= ``start`` at which ``amount`` credits are held."""
         if amount > self.capacity:

@@ -54,6 +54,10 @@ class Interconnect:
     def in_flight(self) -> int:
         return len(self._heap)
 
+    def pending_payloads(self) -> List[Any]:
+        """Payloads currently in flight (introspection; arbitrary order)."""
+        return [payload for _, _, _, payload in self._heap]
+
     def next_event_cycle(self, now: int) -> Optional[int]:
         """Delivery cycle of the earliest in-flight message, if any."""
         if not self._heap:

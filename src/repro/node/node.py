@@ -280,6 +280,114 @@ class Node(ClockedModel):
         self.mac.skip_to(target)
         self._cycle = target
 
+    # -- robustness introspection (see repro.sim.watchdog) -------------------
+
+    def outstanding_raw_count(self) -> int:
+        """Non-fence raw requests in flight anywhere inside this node.
+
+        Containers walked: the MAC's queues/ARQ/builder, the device
+        in-flight response heap, the response buffer, and completions
+        awaiting fabric pickup.  Under request conservation this equals
+        ``len(self._issuer)`` — every accepted request is in exactly one
+        container until it is delivered back to its core.
+        """
+        return (
+            self.mac.pending_request_count()
+            + sum(len(resp.request.requests) for _, _, resp in self._in_flight)
+            + self.mac.response_router.buffered_raw_count()
+            + len(self.pending_remote)
+        )
+
+    def progress_token(self):
+        """Fingerprint that changes whenever the node makes forward progress."""
+        return (
+            self.stats.requests_issued,
+            self.stats.responses_delivered,
+            sum(c.stats.issued for c in self.cores),
+            len(self._in_flight),
+            len(self._issuer),
+            len(self.pending_remote),
+            self.mac.progress_token(),
+        )
+
+    def hang_snapshot(self) -> dict:
+        """Diagnostic state attached to a :class:`SimulationHang`."""
+        snap = self.mac.hang_snapshot()
+        snap.update(
+            cycle=self._cycle,
+            node=self.node_id,
+            in_flight_responses=len(self._in_flight),
+            issuer_entries=len(self._issuer),
+            pending_remote=len(self.pending_remote),
+            cores_done=sum(1 for c in self.cores if c.done),
+            cores=len(self.cores),
+        )
+        if self.device.injector is not None:
+            snap["failed_links"] = list(self.device.failed_links)
+            tokens = {}
+            for link in self.device.links:
+                for name, ch in (("req", link.request), ("rsp", link.response)):
+                    if ch.retry is not None:
+                        tokens[f"link{link.index}_{name}"] = ch.retry.tokens.available
+            snap["link_tokens"] = tokens
+        return snap
+
+    def check_invariants(self) -> None:
+        """Full sanitizer sweep (``REPRO_SIM_CHECK=1``); raise on breach.
+
+        Bounds and token-conservation checks always run; exact request
+        conservation (``issued == delivered + in-flight``) only holds in
+        the fault-free single-node configuration — fault injection drops
+        and duplicates responses by design, and in a NUMA mesh remote
+        raws live on the fabric (the system-level check covers that).
+        """
+        from repro.sim.watchdog import InvariantViolation
+
+        cycle = self._cycle
+        self.mac.check_invariants()
+        for core in self.cores:
+            lsq = getattr(core, "lsq", None)
+            if lsq is not None and len(lsq) > lsq.capacity:
+                raise InvariantViolation(
+                    cycle,
+                    f"core {core.core_id} LSQ over capacity "
+                    f"({len(lsq)}/{lsq.capacity})",
+                )
+        for link in self.device.links:
+            for name, ch in (("req", link.request), ("rsp", link.response)):
+                rs = ch.retry
+                if rs is None:
+                    continue
+                for label, pool in (
+                    ("tokens", rs.tokens),
+                    ("retry_buffer", rs.retry_buffer),
+                ):
+                    if pool.available < 0:
+                        raise InvariantViolation(
+                            cycle,
+                            f"link{link.index}.{name} {label} negative "
+                            f"({pool.available})",
+                        )
+                    held = pool.available + pool.queued_returns
+                    if held > pool.capacity:
+                        raise InvariantViolation(
+                            cycle,
+                            f"link{link.index}.{name} {label} leak: "
+                            f"{held} credits for capacity {pool.capacity}",
+                        )
+        if (
+            self.device.injector is None
+            and self.mac.request_router.home_fn is None
+        ):
+            issued = len(self._issuer)
+            counted = self.outstanding_raw_count()
+            if issued != counted:
+                raise InvariantViolation(
+                    cycle,
+                    f"request conservation broken: issuer map holds {issued} "
+                    f"in-flight requests but containers hold {counted}",
+                )
+
     @classmethod
     def with_multithreaded_cores(
         cls,

@@ -179,6 +179,55 @@ class NUMASystem(ClockedModel):
             node.skip_to(target)
         self._cycle = target
 
+    # -- robustness introspection (see repro.sim.watchdog) -------------------
+
+    def progress_token(self):
+        """Fingerprint that changes whenever any part of the mesh progresses."""
+        return (
+            self.fabric.messages_sent,
+            self.fabric.in_flight,
+            tuple(node.progress_token() for node in self.nodes),
+        )
+
+    def hang_snapshot(self) -> dict:
+        """Diagnostic state attached to a :class:`SimulationHang`."""
+        return {
+            "cycle": self._cycle,
+            "fabric_in_flight": self.fabric.in_flight,
+            "nodes": {n.node_id: n.hang_snapshot() for n in self.nodes},
+        }
+
+    def check_invariants(self) -> None:
+        """Per-node sanitizer sweeps plus mesh-wide request conservation.
+
+        Each node checks its own occupancy bounds and link-token
+        conservation (its local conservation check stays off because
+        ``home_fn`` is set); the global check accounts for raws crossing
+        the fabric: every issuer-map entry in the mesh matches exactly
+        one raw in some node's containers or one fabric payload (a raw
+        request heading to its home, or a completion pair heading back).
+        """
+        from repro.sim.watchdog import InvariantViolation
+
+        for node in self.nodes:
+            node.check_invariants()
+        if any(node.device.injector is not None for node in self.nodes):
+            return  # fault injection drops/duplicates responses by design
+        issued = sum(len(node._issuer) for node in self.nodes)
+        counted = sum(node.outstanding_raw_count() for node in self.nodes)
+        for payload in self.fabric.pending_payloads():
+            if isinstance(payload, MemoryRequest):
+                if not payload.is_fence:
+                    counted += 1  # raw request travelling to its home node
+            else:
+                counted += 1  # (target, raw) completion pair heading back
+        if issued != counted:
+            raise InvariantViolation(
+                self._cycle,
+                f"mesh request conservation broken: issuer maps hold {issued} "
+                f"in-flight requests but containers+fabric hold {counted}",
+            )
+
     def degraded_nodes(self) -> List[int]:
         """Nodes whose device lost at least one link to a hard fault."""
         return [n.node_id for n in self.nodes if n.degraded]

@@ -161,14 +161,22 @@ class EventTracer:
         }
 
     def write_chrome_trace(self, path: Union[str, Path]) -> int:
-        """Write the Chrome-trace JSON; returns the event count."""
+        """Write the Chrome-trace JSON atomically; returns the event count."""
+        from repro.ioutil import atomic_write_text
+
         doc = self.to_chrome_trace()
-        Path(path).write_text(json.dumps(doc))
+        atomic_write_text(path, json.dumps(doc))
         return len(doc["traceEvents"])
 
     def write_jsonl(self, path: Union[str, Path]) -> int:
-        """One ``{"cycle","channel","name",...args}`` object per line."""
-        with open(path, "w") as fh:
+        """One ``{"cycle","channel","name",...args}`` object per line.
+
+        Written atomically (temp file + rename), so a crash mid-write
+        never leaves a truncated trace at ``path``.
+        """
+        from repro.ioutil import atomic_open
+
+        with atomic_open(path) as fh:
             for cycle, channel, name, args in self._events:
                 row = {"cycle": cycle, "channel": channel, "name": name}
                 if args:

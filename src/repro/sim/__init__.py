@@ -20,6 +20,16 @@ from .kernel import (
     engine_names,
     get_engine,
 )
+from .watchdog import (
+    CHECK_ENV_VAR,
+    NULL_WATCHDOG,
+    WATCHDOG_ENV_VAR,
+    InvariantViolation,
+    SimulationHang,
+    Watchdog,
+    default_watchdog,
+    sanitize_enabled,
+)
 
 __all__ = [
     "Clocked",
@@ -31,4 +41,12 @@ __all__ = [
     "DEFAULT_ENGINE",
     "engine_names",
     "get_engine",
+    "Watchdog",
+    "NULL_WATCHDOG",
+    "SimulationHang",
+    "InvariantViolation",
+    "CHECK_ENV_VAR",
+    "WATCHDOG_ENV_VAR",
+    "default_watchdog",
+    "sanitize_enabled",
 ]

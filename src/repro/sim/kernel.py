@@ -33,6 +33,8 @@ from __future__ import annotations
 import os
 from typing import Callable, List, Optional, Protocol, runtime_checkable
 
+from .watchdog import default_watchdog
+
 #: Environment variable consulted when no engine is given explicitly.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
 
@@ -129,6 +131,12 @@ class LockstepEngine:
 
     name = "lockstep"
 
+    def __init__(self, watchdog=None):
+        #: Hang detector / invariant sanitizer observing each iteration
+        #: (read-only; NULL_WATCHDOG unless configured — see
+        #: :mod:`repro.sim.watchdog`).
+        self.watchdog = watchdog if watchdog is not None else default_watchdog()
+
     def run(
         self,
         sim: ClockedModel,
@@ -137,12 +145,19 @@ class LockstepEngine:
         relative: bool = False,
     ) -> int:
         start = sim.cycle if relative else 0
+        wd = self.watchdog
+        if wd.enabled:
+            wd.reset()
         while not sim.done():
             out = sim.tick()
             if on_tick is not None and out:
                 on_tick(out)
+            if wd.enabled:
+                wd.observe(sim)
             if sim.cycle - start > max_cycles:
                 raise RuntimeError(sim._overrun_msg)
+        if wd.enabled:
+            wd.finish(sim)
         return sim.cycle
 
 
@@ -157,6 +172,10 @@ class SkipEngine:
 
     name = "skip"
 
+    def __init__(self, watchdog=None):
+        #: See :class:`LockstepEngine.watchdog`.
+        self.watchdog = watchdog if watchdog is not None else default_watchdog()
+
     def run(
         self,
         sim: ClockedModel,
@@ -166,6 +185,9 @@ class SkipEngine:
     ) -> int:
         start = sim.cycle if relative else 0
         limit = start + max_cycles
+        wd = self.watchdog
+        if wd.enabled:
+            wd.reset()
         # Probe backoff: during sustained busy phases every probe answers
         # "now", so double the gap between probes (capped) and pay the
         # wake-event walk on ~1/64 of busy ticks.  Quiescent ticks are
@@ -177,6 +199,8 @@ class SkipEngine:
             out = sim.tick()
             if on_tick is not None and out:
                 on_tick(out)
+            if wd.enabled:
+                wd.observe(sim)
             if sim.cycle - start > max_cycles:
                 raise RuntimeError(sim._overrun_msg)
             if wait:
@@ -191,6 +215,8 @@ class SkipEngine:
             else:
                 gap = min(gap * 2 or 1, 64)
                 wait = gap
+        if wd.enabled:
+            wd.finish(sim)
         return sim.cycle
 
 

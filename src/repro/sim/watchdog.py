@@ -1,0 +1,216 @@
+"""Simulation watchdog and invariant sanitizer.
+
+Two failure modes of a cycle-accurate model are invisible to the test
+suite until a run wedges in CI: *livelock* (the loop keeps ticking but
+no component makes progress — a deadlocked credit loop, a response that
+was dropped without a timeout armed) and *silent corruption* (a queue
+over its capacity, a retry token leaked, a raw request that vanished
+between submission and completion).  This module watches for both from
+inside the run engines (:mod:`repro.sim.kernel`) without perturbing the
+simulation:
+
+* **Hang detection** — always on (cheap).  If a model's
+  ``progress_token()`` fingerprint is unchanged for ``stall_cycles``
+  consecutive cycles *and* the model schedules no future wake
+  (``next_event_cycle(now) <= now``), the run raises
+  :class:`SimulationHang` carrying the model's ``hang_snapshot()``: queue
+  depths, in-flight counts, ARQ occupancy, link retry-token levels —
+  everything needed to debug the wedge post-mortem.  A scheduled future
+  wake (e.g. a fault-retry timeout deadline several hundred cycles out)
+  resets the stall timer, so retry backoff stalls never false-positive.
+* **Invariant sanitizer** — opt-in via ``REPRO_SIM_CHECK=1``.  Every
+  ``check_interval`` ticks the engine calls the model's
+  ``check_invariants()``: request conservation (in == out + in-flight),
+  ARQ/link retry-token conservation, LSQ/FIFO occupancy bounds.  The
+  watchdog itself checks monotone cycle stamps.  Violations raise
+  :class:`InvariantViolation` at the offending cycle instead of
+  corrupting metrics thousands of cycles later.
+
+Both follow the NULL-object pattern used by tracing and attribution:
+with both knobs off the engines hold :data:`NULL_WATCHDOG` and the hot
+loop pays a single attribute test per iteration, so results are
+bit-identical with the watchdog disabled (and with it enabled —
+observation never mutates model state).
+
+Models opt in by implementing any of the (all optional) hooks:
+
+``progress_token()``
+    Hashable fingerprint that changes whenever the model made forward
+    progress.  Models without it are never hang-checked.
+``hang_snapshot()``
+    JSON-able diagnostic dict attached to :class:`SimulationHang`.
+``check_invariants()``
+    Raise :class:`InvariantViolation` on any broken invariant.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, Optional
+
+#: Stall budget (cycles without progress) before declaring a hang.  Large
+#: enough that the slowest legitimate quiet span in the models — a full
+#: link-retry timeout plus ARQ drain — cannot trip it.
+DEFAULT_STALL_CYCLES = 250_000
+
+#: How many observed ticks between sanitizer probes (hang checks run on
+#: the same cadence; staleness is measured in cycles, not probes).
+DEFAULT_CHECK_INTERVAL = 512
+
+#: Environment knobs: ``REPRO_SIM_CHECK=1`` arms the invariant sanitizer;
+#: ``REPRO_SIM_WATCHDOG=<cycles>`` overrides the stall budget (0 disables
+#: hang detection entirely).
+CHECK_ENV_VAR = "REPRO_SIM_CHECK"
+WATCHDOG_ENV_VAR = "REPRO_SIM_WATCHDOG"
+
+
+class SimulationHang(RuntimeError):
+    """The simulation stopped making progress without being done.
+
+    Carries the cycle at which the hang was declared, how long the model
+    had been stalled, and the model's diagnostic ``hang_snapshot()``.
+    """
+
+    def __init__(self, cycle: int, stalled_cycles: int, snapshot: Dict[str, Any]):
+        self.cycle = cycle
+        self.stalled_cycles = stalled_cycles
+        self.snapshot = snapshot
+        detail = ", ".join(f"{k}={v!r}" for k, v in sorted(snapshot.items()))
+        super().__init__(
+            f"simulation hang at cycle {cycle}: no progress for "
+            f"{stalled_cycles} cycles and no scheduled wake"
+            + (f" [{detail}]" if detail else "")
+        )
+
+
+class InvariantViolation(RuntimeError):
+    """A simulation invariant does not hold (sanitizer mode only)."""
+
+    def __init__(self, cycle: int, message: str):
+        self.cycle = cycle
+        super().__init__(f"invariant violation at cycle {cycle}: {message}")
+
+
+class _NullWatchdog:
+    """Disabled watchdog: one ``enabled`` test per engine iteration."""
+
+    enabled = False
+
+    def reset(self) -> None:  # pragma: no cover - never called when disabled
+        pass
+
+    def observe(self, sim) -> None:  # pragma: no cover - never called
+        pass
+
+    def finish(self, sim) -> None:  # pragma: no cover - never called
+        pass
+
+
+#: Shared disabled instance (stateless, safe to share).
+NULL_WATCHDOG = _NullWatchdog()
+
+
+class Watchdog:
+    """Engine-side observer implementing hang detection + sanitizing.
+
+    One instance is owned by one engine ``run()`` at a time; ``reset()``
+    is called at loop entry so an engine instance can be reused.
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        stall_cycles: int = DEFAULT_STALL_CYCLES,
+        check_interval: int = DEFAULT_CHECK_INTERVAL,
+        sanitize: bool = False,
+    ):
+        if check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        self.stall_cycles = stall_cycles
+        self.check_interval = check_interval
+        self.sanitize = sanitize
+        self.reset()
+
+    def reset(self) -> None:
+        self._ticks = 0
+        self._last_token: Any = None
+        self._last_progress_cycle: Optional[int] = None
+        self._last_cycle: Optional[int] = None
+
+    # -- per-iteration hook (called by the engines) --------------------------
+
+    def observe(self, sim) -> None:
+        """Observe one engine iteration of ``sim``; raise on hang/violation.
+
+        Read-only: never mutates ``sim``, so enabling the watchdog cannot
+        change simulation results.
+        """
+        cycle = sim.cycle
+        if self.sanitize:
+            if self._last_cycle is not None and cycle < self._last_cycle:
+                raise InvariantViolation(
+                    cycle,
+                    f"cycle counter moved backwards ({self._last_cycle} -> {cycle})",
+                )
+            self._last_cycle = cycle
+        self._ticks += 1
+        if self._ticks % self.check_interval:
+            return
+        self._probe(sim, cycle)
+
+    def _probe(self, sim, cycle: int) -> None:
+        if self.sanitize:
+            check = getattr(sim, "check_invariants", None)
+            if check is not None:
+                check()
+        if not self.stall_cycles:
+            return
+        token_fn = getattr(sim, "progress_token", None)
+        if token_fn is None:
+            return  # model did not opt in to hang detection
+        token = token_fn()
+        if token != self._last_token or self._last_progress_cycle is None:
+            self._last_token = token
+            self._last_progress_cycle = cycle
+            return
+        # No visible progress since the last probe.  A scheduled future
+        # wake (fault-retry deadline, blocked core's completion cycle)
+        # means the model is legitimately waiting — restart the timer.
+        wake = sim.next_event_cycle(cycle)
+        if wake is not None and wake > cycle:
+            self._last_progress_cycle = cycle
+            return
+        stalled = cycle - self._last_progress_cycle
+        if stalled >= self.stall_cycles:
+            snapshot_fn = getattr(sim, "hang_snapshot", None)
+            snapshot = snapshot_fn() if snapshot_fn is not None else {}
+            raise SimulationHang(cycle, stalled, snapshot)
+
+    def finish(self, sim) -> None:
+        """Final sanitizer sweep when the run loop exits normally."""
+        if self.sanitize:
+            check = getattr(sim, "check_invariants", None)
+            if check is not None:
+                check()
+
+
+def sanitize_enabled() -> bool:
+    """Whether ``REPRO_SIM_CHECK`` arms the invariant sanitizer."""
+    return os.environ.get(CHECK_ENV_VAR, "") not in ("", "0")
+
+
+def default_watchdog():
+    """Watchdog instance for an engine constructed without one.
+
+    Returns :data:`NULL_WATCHDOG` (zero overhead) unless the environment
+    opts in: ``REPRO_SIM_CHECK=1`` arms the sanitizer and/or
+    ``REPRO_SIM_WATCHDOG=<cycles>`` sets a hang budget.  With both unset
+    the engines behave exactly as before this module existed.
+    """
+    sanitize = sanitize_enabled()
+    stall_env = os.environ.get(WATCHDOG_ENV_VAR, "")
+    if not sanitize and not stall_env:
+        return NULL_WATCHDOG
+    stall = int(stall_env) if stall_env else DEFAULT_STALL_CYCLES
+    return Watchdog(stall_cycles=stall, sanitize=sanitize)
