@@ -1,0 +1,161 @@
+"""Busy-phase wall time — per-component event wheel + vectorized kernels.
+
+The original skip engine only won when the *whole node* was quiescent:
+one busy component (a core in an issue cooldown, an ARQ entry waiting
+out its window, a bank mid-access) pinned every other component to
+lockstep.  The per-component event wheel parks blocked cores on their
+own wake heap and lets the node prove quiescence in O(1), so the dense
+"busy phase" the MAC paper actually targets — vaults saturated with
+coalesced FLIT traffic, deep bank conflicts serializing on tRC — now
+skips the dead cycles *between* memory events instead of ticking
+through them.
+
+Two shapes:
+
+``bank_conflict``
+    Every core hammers distinct DRAM rows of one (vault, bank), so the
+    bank's row cycle serializes everything: the bank is busy every
+    cycle (bandwidth-bound at the bank) while the rest of the node
+    waits tens of cycles between completions.  This is the regime the
+    wheel targets; the acceptance gate demands >= 5x here.
+
+``saturated_vaults``
+    Deep-LSQ cores spraying random rows keep the MAC and all vaults
+    busy with real work nearly every cycle; there is little to skip
+    and the engine must not cost more than a few percent.
+
+Both runs assert bit-identical results (cycles + full metrics) before
+any timing is recorded; the artifact feeds scripts/bench_compare.py.
+"""
+
+import random
+import time
+
+from repro.core.request import MemoryRequest, RequestType
+from repro.eval.report import format_table
+from repro.hmc.config import HMCConfig
+from repro.node.node import Node
+
+from conftest import attach, run_figure
+
+
+def _conflict_rows(count, vault=0, bank=0):
+    """Row-aligned addresses that all map to one (vault, bank)."""
+    cfg = HMCConfig()
+    rows = []
+    row = 0
+    while len(rows) < count:
+        addr = row << cfg.row_offset_bits
+        if cfg.vault_of(addr) == vault and cfg.bank_of(addr) == bank:
+            rows.append(addr)
+        row += 1
+    return rows
+
+
+def _conflict_streams(cores, ops):
+    rows = _conflict_rows(cores * ops)
+    return [
+        iter(
+            [
+                MemoryRequest(
+                    addr=rows[c * ops + i] | ((i % 16) << 4),
+                    rtype=RequestType.LOAD if i % 4 else RequestType.STORE,
+                    tid=c,
+                    tag=i,
+                    core=c,
+                )
+                for i in range(ops)
+            ]
+        )
+        for c in range(cores)
+    ]
+
+
+def _random_streams(cores, ops, rows):
+    out = []
+    for c in range(cores):
+        rng = random.Random(c * 7 + 1)
+        out.append(
+            iter(
+                [
+                    MemoryRequest(
+                        addr=(rng.randrange(rows) << 8)
+                        | (rng.randrange(16) << 4),
+                        rtype=RequestType.LOAD if i % 4 else RequestType.STORE,
+                        tid=c,
+                        tag=i,
+                        core=c,
+                    )
+                    for i in range(ops)
+                ]
+            )
+        )
+    return out
+
+
+SHAPES = {
+    "bank_conflict": lambda: Node(_conflict_streams(8, 600)),
+    "saturated_vaults": lambda: Node(_random_streams(8, 1500, 256)),
+}
+
+
+def _timed_run(engine, build, rounds=2):
+    """Best-of-N wall time (first pass pays interpreter warmup)."""
+    best = float("inf")
+    for _ in range(rounds):
+        node = build()
+        t0 = time.perf_counter()
+        node.run(engine=engine)
+        best = min(best, time.perf_counter() - t0)
+    return best, node
+
+
+def test_busy_phase(benchmark):
+    def run():
+        out = {}
+        for label, build in SHAPES.items():
+            t_lock, lock = _timed_run("lockstep", build)
+            t_skip, skip = _timed_run("skip", build)
+            # Equivalence first: a fast wrong answer is worthless.
+            assert skip.cycle == lock.cycle, label
+            assert skip.metrics() == lock.metrics(), label
+            out[label] = {
+                "lockstep_s": t_lock,
+                "skip_s": t_skip,
+                "speedup": t_lock / t_skip,
+                "cycles": lock.stats.cycles,
+            }
+        return out
+
+    out = run_figure(benchmark, run, "busy phase: per-component event wheel")
+    for label, row in out.items():
+        attach(
+            benchmark,
+            **{
+                f"{label}_lockstep_s": row["lockstep_s"],
+                f"{label}_skip_s": row["skip_s"],
+                f"{label}_speedup": row["speedup"],
+            },
+        )
+    print()
+    print(
+        format_table(
+            ["workload", "cycles", "lockstep (s)", "skip (s)", "speedup"],
+            [
+                [
+                    label,
+                    row["cycles"],
+                    round(row["lockstep_s"], 3),
+                    round(row["skip_s"], 3),
+                    f"{row['speedup']:.2f}x",
+                ]
+                for label, row in out.items()
+            ],
+            title="identical results, wall-clock only",
+        )
+    )
+    # Acceptance: >=5x where the wheel matters; no pathological cost
+    # where it cannot win (the saturated shape hovers around 1.0x with
+    # ~15% wall-clock noise on loaded CI runners, hence the 0.85 floor).
+    assert out["bank_conflict"]["speedup"] >= 5.0
+    assert out["saturated_vaults"]["speedup"] >= 0.85

@@ -14,6 +14,7 @@ from typing import List, Optional
 
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.tracer import NULL_TRACER
+from ..sim import register_wake_protocol
 from .address import AddressCodec
 from .arq import AggregatedRequestQueue
 from .builder import RequestBuilder, bypass_packet
@@ -24,6 +25,7 @@ from .request import MemoryRequest
 from .stats import MACStats
 
 
+@register_wake_protocol
 class RawRequestAggregator:
     """Cycle model of ARQ intake + pop cadence + builder hand-off."""
 
@@ -173,6 +175,16 @@ class RawRequestAggregator:
         """Whether the request offered to the last tick() was accepted."""
         return self._accepted_last
 
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """A busy aggregator acts every cycle; an idle one never on its own.
+
+        While anything is buffered (ARQ entries or builder latches) the
+        pop cadence and the builder pipeline both advance each tick, so
+        no cycle is skippable.  Idle, the next event belongs to whoever
+        offers the next request.
+        """
+        return None if self.idle() else now
+
     def skip(self, start: int, end: int) -> None:
         """Fast-forward an idle aggregator over cycles [start, end).
 
@@ -183,6 +195,17 @@ class RawRequestAggregator:
         arrives, same as after idle lockstep cycles), and offer the same
         every-64th-cycle ARQ depth samples to the attribution collector
         so the strided sampler sees an identical observation sequence.
+
+        Boundary pin (skip-equivalence audit): the span is half-open —
+        cycle ``end`` itself is *not* accounted here.  A wake landing
+        exactly on the skip target is executed by the following
+        ``tick``, which reads ``_cycle == end`` and samples depth at
+        ``end`` iff ``end % 64 == 0`` — exactly the tick lockstep would
+        have run.  The sample replay below therefore stops *before*
+        ``end`` (``cycle < end``), and the first replayed sample is the
+        first multiple of 64 at or after ``start`` because the skipped
+        lockstep ticks would have sampled at those same cycles with the
+        same (idle-constant) depth.
         """
         at = self.attrib
         if at.enabled:
@@ -194,6 +217,11 @@ class RawRequestAggregator:
         self._cycle = end
         self.stats.total_cycles = end
         self._accepted_last = True
+
+    def skip_to(self, target: int) -> None:
+        """Component-wheel alias for :meth:`skip` from the current cycle."""
+        if target > self._cycle:
+            self.skip(self._cycle, target)
 
     def drain(self) -> List[CoalescedRequest]:
         """Run the clock with no new input until everything is emitted."""

@@ -20,6 +20,9 @@ from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional
 
 from ..obs.tracer import NULL_TRACER
+from ..sim import register_wake_protocol
+from ..sim import vector as _vector
+from ..sim.watchdog import sanitize_enabled
 from .address import AddressCodec
 from .config import MACConfig
 from .flit import FlitMap
@@ -57,11 +60,24 @@ class ARQEntry:
         return len(self.targets)
 
 
+@register_wake_protocol
 class AggregatedRequestQueue:
     """FIFO of ARQEntry with associative merge, fences and bypass.
 
     This class models the queue *structure*; the cycle-by-cycle accept/pop
     cadence lives in :class:`repro.core.aggregator.RawRequestAggregator`.
+
+    Comparator tie-break: when several in-flight entries match a
+    candidate key (possible via latency-hiding bypass fills, which
+    allocate without consulting the comparators, and via capacity
+    evictions), the *oldest* mergeable entry wins — a hardware priority
+    encoder over the comparator hit vector resolves towards the head of
+    the FIFO.  The ``_index`` dict therefore always maps a key to the
+    oldest mergeable same-epoch entry, and :meth:`_unindex` promotes the
+    next-oldest duplicate when the winner leaves.  The vectorized
+    argmax-style match (:func:`repro.sim.vector.oldest_match`) encodes
+    the same rule over all entries at once; under ``REPRO_SIM_CHECK=1``
+    every dict hit is cross-validated against it.
     """
 
     def __init__(
@@ -92,6 +108,13 @@ class AggregatedRequestQueue:
         # been busy (free <= threshold) again.
         self._bypass_budget = 0
         self._bypass_armed = True
+        # Keys for which more than one in-flight entry may match (bypass
+        # fills / fence demotes); drives the oldest-wins promotion in
+        # :meth:`_unindex` without scanning the queue on every pop.
+        self._dup_keys: set = set()
+        # Cross-validate dict hits against the vectorized all-entries
+        # comparator match (oldest-wins) when the sanitizer is armed.
+        self._check_match = sanitize_enabled()
         # Stats hooks.
         self.merges = 0
         self.allocations = 0
@@ -162,6 +185,14 @@ class AggregatedRequestQueue:
         # mergeable; a key hit on the pre-fence side is exactly the merge
         # the fence forbids.
         hit = self._index.get(key)
+        if self._check_match and self.match_oldest(key) is not hit:
+            from ..sim.watchdog import InvariantViolation
+
+            raise InvariantViolation(
+                cycle,
+                f"comparator divergence for key {key}: indexed hit does not "
+                "match the oldest-wins vectorized scan",
+            )
         if hit is not None:
             self._merge(hit, request, cycle)
             return True
@@ -205,10 +236,15 @@ class AggregatedRequestQueue:
             requests=[request],
         )
         self._entries.append(entry)
-        # A key may already be indexed (e.g. capacity-evicted or
-        # fence-separated duplicate); the newest entry wins the comparator,
-        # matching hardware priority encoders that favour the youngest hit.
-        self._index[key] = entry
+        # A key may already be indexed (a bypass-filled or capacity-evicted
+        # duplicate); the *oldest* mergeable entry keeps the comparator —
+        # the priority encoder resolves towards the FIFO head — so a new
+        # allocation never steals an existing key.  The duplicate is
+        # remembered and promoted when the current winner leaves.
+        if key in self._index:
+            self._dup_keys.add(key)
+        else:
+            self._index[key] = entry
         self.allocations += 1
         if self.tracer.enabled:
             self.tracer.emit(
@@ -230,8 +266,14 @@ class AggregatedRequestQueue:
         self._entries.append(entry)
         self._fence_pending += 1
         # Start a new merge epoch: everything live moves to the blocked
-        # side of the fence.
-        self._fenced_index.update(self._index)
+        # side of the fence.  Oldest-wins holds across demotes too: a key
+        # already fenced keeps its (older) entry, and the demoted
+        # duplicate is promoted when it leaves.
+        for key, demoted in self._index.items():
+            if key in self._fenced_index:
+                self._dup_keys.add(key)
+            else:
+                self._fenced_index[key] = demoted
         self._index.clear()
         if self.tracer.enabled:
             self.tracer.emit(
@@ -284,10 +326,101 @@ class AggregatedRequestQueue:
         return self._entries[0] if self._entries else None
 
     def _unindex(self, entry: ARQEntry) -> None:
-        if self._index.get(entry.key) is entry:
-            del self._index[entry.key]
-        if self._fenced_index.get(entry.key) is entry:
-            del self._fenced_index[entry.key]
+        key = entry.key
+        was_indexed = False
+        if self._index.get(key) is entry:
+            del self._index[key]
+            was_indexed = True
+        if self._fenced_index.get(key) is entry:
+            del self._fenced_index[key]
+            was_indexed = True
+        if was_indexed and key in self._dup_keys:
+            self._reindex_key(key)
+
+    def _reindex_key(self, key: int) -> None:
+        """Canonicalize the comparator winner for ``key`` (oldest-wins).
+
+        Called only when a known-duplicated key loses its indexed winner:
+        rescan the FIFO, give the oldest mergeable match on each side of
+        the youngest fence its comparator back, and retire the duplicate
+        marker once at most one match remains.
+        """
+        current: Optional[ARQEntry] = None  # oldest match since last fence
+        fenced: Optional[ARQEntry] = None  # oldest match before it
+        matches = 0
+        cap = self.config.target_capacity
+        for e in self._entries:
+            if e.fence:
+                if fenced is None:
+                    fenced = current
+                current = None
+                continue
+            if e.key != key or e.atomic or e.target_count >= cap:
+                continue
+            matches += 1
+            if current is None:
+                current = e
+        if self._fence_pending:
+            if fenced is None:
+                self._fenced_index.pop(key, None)
+            else:
+                self._fenced_index[key] = fenced
+        if current is None:
+            self._index.pop(key, None)
+        else:
+            self._index[key] = current
+        if matches <= 1:
+            self._dup_keys.discard(key)
+
+    # -- vectorized comparator match ----------------------------------------
+
+    def comparator_view(self) -> List[Optional[int]]:
+        """Comparator-visible key per entry, oldest first.
+
+        ``None`` masks slots that cannot merge: fences, atomics, entries
+        at target capacity, and — because merging across a fence would
+        reorder — every entry allocated before the youngest pending
+        fence.  This is the input the batch comparator kernel
+        (:func:`repro.sim.vector.oldest_match`) operates on.
+        """
+        view: List[Optional[int]] = []
+        cap = self.config.target_capacity
+        for e in self._entries:
+            if e.fence:
+                # Everything before the fence is unmergeable this epoch.
+                view = [None] * (len(view) + 1)
+                continue
+            if e.atomic or e.target_count >= cap:
+                view.append(None)
+            else:
+                view.append(e.key)
+        return view
+
+    def match_oldest(self, key: int) -> Optional[ARQEntry]:
+        """All-entries comparator match, oldest hit wins (hardware form).
+
+        Semantically identical to the ``_index`` dict lookup (the
+        equivalence is property-tested and sanitizer-checked); used as
+        the reference for the vectorized argmax-style match.
+        """
+        idx = _vector.oldest_match(self.comparator_view(), key)
+        if idx is None:
+            return None
+        return self._entries[idx]
+
+    # -- quiescence skipping -------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Buffered entries act on the pop cadence; an empty queue never.
+
+        The ARQ is a passive structure — its clocking (accept rate, pop
+        cadence) lives in the aggregator — so its own wake is simply
+        "now" while occupied and "no self-scheduled wake" when empty.
+        """
+        return None if not self._entries else now
+
+    def skip_to(self, target: int) -> None:
+        """No per-cycle state: skipping an empty ARQ is a no-op."""
 
     # -- introspection ------------------------------------------------------
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..sim import register_wake_protocol
 from .address import AddressCodec
 from .arq import ARQEntry
 from .config import MACConfig
@@ -29,8 +30,15 @@ class _StageSlot:
     remaining: int = 0
 
 
+@register_wake_protocol
 class RequestBuilder:
-    """Cycle-level model of the two-stage pipelined request builder."""
+    """Cycle-level model of the two-stage pipelined request builder.
+
+    Stage 1's OR-reduction goes through :meth:`FlitMap.group_bits
+    <repro.core.flit.FlitMap.group_bits>`, which serves the paper
+    geometry from the precomputed vector table when the
+    ``REPRO_SIM_VECTOR`` kernels are on.
+    """
 
     def __init__(
         self,
@@ -124,6 +132,20 @@ class RequestBuilder:
             out.extend(self._emit(slot, cycle))
             self._stage1 = None
         return out
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """A primed pipeline moves every cycle; an empty one never.
+
+        Stage occupancy changes each tick while anything is latched
+        (stage 2 counts down, stage 1 transfers), so a busy builder pins
+        its owner to lockstep; empty, it schedules no wake of its own.
+        """
+        return now if self.busy else None
+
+    def skip_to(self, target: int) -> None:
+        """No per-cycle state outside the stage latches: idle skip is free."""
 
     # -- packet assembly -----------------------------------------------------
 

@@ -20,7 +20,7 @@ from typing import Callable, Iterable, List, Optional
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracer import NULL_TRACER
-from ..sim import ClockedModel
+from ..sim import ClockedModel, register_wake_protocol
 from .address import AddressCodec
 from .aggregator import RawRequestAggregator
 from .arq import ARQEntry
@@ -34,6 +34,7 @@ from .router import RequestRouter, ResponseRouter
 from .stats import MACStats
 
 
+@register_wake_protocol
 class MAC(ClockedModel):
     """Cycle-level Memory Access Coalescer for one node.
 
@@ -155,12 +156,19 @@ class MAC(ClockedModel):
     def next_event_cycle(self, now: int) -> Optional[int]:
         """A busy MAC acts every cycle; an idle one schedules no wake.
 
-        The pop cadence (``_next_pop``) and the builder pipeline both
-        advance whenever any request is buffered, so the only skippable
-        MAC state is full idleness — where the next event belongs to
-        whoever feeds it (core issue, fabric delivery, in-flight heap).
+        Wake sources, per component: a non-empty input queue feeds the
+        aggregator next tick (now); the aggregator reports its own wake
+        (now while its ARQ or builder holds anything, None when
+        drained).  The only skippable MAC state is therefore full
+        idleness — where the next event belongs to whoever feeds it
+        (core issue, fabric delivery, in-flight heap).
         """
-        return None if self.idle() else now
+        if not (
+            self.request_router.local_queue.empty
+            and self.request_router.remote_queue.empty
+        ):
+            return now
+        return self.aggregator.next_event_cycle(now)
 
     def skip_to(self, target: int) -> None:
         """Fast-forward an idle MAC (see RawRequestAggregator.skip)."""

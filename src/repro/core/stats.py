@@ -8,6 +8,7 @@ from typing import Dict, List
 
 from ..obs.protocol import StatsMixin
 from .packet import CONTROL_BYTES_PER_ACCESS, CoalescedRequest
+from .request import RequestType
 
 
 @dataclass(slots=True)
@@ -46,8 +47,6 @@ class MACStats(StatsMixin):
     # -- recording ------------------------------------------------------------
 
     def record_raw(self, rtype) -> None:
-        from .request import RequestType
-
         self.raw_requests += 1
         if rtype is RequestType.LOAD:
             self.raw_loads += 1

@@ -8,10 +8,14 @@ any request arriving meanwhile suffers a *bank conflict* and waits.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import register_wake_protocol
 
 from .timing import HMCTiming
 
 
+@register_wake_protocol
 @dataclass(slots=True)
 class Bank:
     """Busy-time bookkeeping for one DRAM bank."""
@@ -55,3 +59,22 @@ class Bank:
     @property
     def conflict_rate(self) -> float:
         return self.conflicts / self.accesses if self.accesses else 0.0
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-timed: the bank never acts on its own clock edge.
+
+        ``ready_cycle`` is an absolute stamp consumed by the *next*
+        access; nothing observable happens at it unless a new request
+        arrives, so the bank schedules no wake (a busy bank's completion
+        is already folded into the response's ``complete_cycle``).
+        """
+        return None
+
+    def skip_to(self, target: int) -> None:
+        """All state is absolute timestamps: skipping costs nothing."""
+
+    def busy_at(self, now: int) -> bool:
+        """Whether the bank is still occupied at cycle ``now``."""
+        return self.ready_cycle > now

@@ -8,10 +8,14 @@ own traffic counters so NoC-style utilization can be reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim import register_wake_protocol
 
 from .timing import HMCTiming
 
 
+@register_wake_protocol
 @dataclass(slots=True)
 class Crossbar:
     """Fixed-latency link<->vault switch."""
@@ -29,3 +33,12 @@ class Crossbar:
         """Deliver a response from a vault to its link."""
         self.returned += 1
         return cycle + self.timing.crossbar_latency
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Stateless fixed-latency switch: never self-schedules a wake."""
+        return None
+
+    def skip_to(self, target: int) -> None:
+        """No per-cycle state: skipping costs nothing."""

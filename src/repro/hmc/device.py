@@ -36,6 +36,8 @@ from repro.faults.stats import FaultStats
 from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.tracer import NULL_TRACER
+from repro.sim import register_wake_protocol
+from repro.sim import vector as _vector
 
 from .config import HMCConfig
 from .crossbar import Crossbar
@@ -45,6 +47,7 @@ from .stats import HMCStats
 from .vault import Vault
 
 
+@register_wake_protocol
 class HMCDevice:
     """One simulated HMC cube.
 
@@ -276,6 +279,35 @@ class HMCDevice:
             st.writes += 1
         else:
             st.atomics += 1
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-timed: responses materialize inside :meth:`submit`.
+
+        The whole device advances by absolute next-free stamps (links,
+        crossbar, vault front-ends, banks); completion cycles are
+        returned to the node, which holds them in its in-flight heap —
+        the heap head, not the device, is the wake source.
+        """
+        return None
+
+    def skip_to(self, target: int) -> None:
+        """All state is absolute timestamps: skipping costs nothing."""
+
+    def busy_until(self) -> int:
+        """Latest cycle any device resource is still occupied.
+
+        A strided sweep over every vault's bank-timing array and both
+        channels of every link (vectorized, see :mod:`repro.sim.vector`)
+        — the memory-side horizon the busy-phase bench reports.
+        """
+        horizon = _vector.max_ready([v.busy_until() for v in self.vaults])
+        return max(horizon, _vector.max_ready([l.busy_until() for l in self.links]))
+
+    def busy_vaults(self, now: int) -> int:
+        """Vaults with at least one occupied bank at cycle ``now``."""
+        return sum(1 for v in self.vaults if v.busy_banks(now))
 
     # -- aggregates ----------------------------------------------------------------
 

@@ -35,6 +35,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.tracer import NULL_TRACER
+from ..sim import register_wake_protocol
 from .timing import HMCTiming
 
 #: Cap on the exponential-backoff shift so huge retry limits cannot
@@ -322,6 +323,7 @@ def _backoff(base: int, failures: int) -> int:
     return base << min(failures - 1, _MAX_BACKOFF_SHIFT)
 
 
+@register_wake_protocol
 class Link:
     """Full-duplex link: independent request/response channels."""
 
@@ -347,6 +349,25 @@ class Link:
     def earliest_request_slot(self, arrival: int) -> int:
         """When a request arriving at ``arrival`` could start serializing."""
         return max(arrival, self.request.ready_cycle)
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-timed: serialization happens inside ``transmit`` calls.
+
+        Channel ``ready_cycle`` stamps are absolute and only consulted
+        by the next transmission, so the link never self-schedules a
+        wake — busy wire time is already folded into response
+        completion cycles.
+        """
+        return None
+
+    def skip_to(self, target: int) -> None:
+        """All state is absolute timestamps: skipping costs nothing."""
+
+    def busy_until(self) -> int:
+        """Latest cycle either direction of the link is serializing."""
+        return max(self.request.ready_cycle, self.response.ready_cycle)
 
     # -- fault wiring -------------------------------------------------------
 

@@ -10,11 +10,13 @@ occupy their target bank per the closed-page timing in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.protocol import StatsMixin
 from ..obs.tracer import NULL_TRACER
+from ..sim import register_wake_protocol
+from ..sim import vector as _vector
 from .bank import Bank
 from .config import HMCConfig
 from .timing import HMCTiming
@@ -29,6 +31,7 @@ class VaultStats(StatsMixin):
     service_cycles: int = 0
 
 
+@register_wake_protocol
 class Vault:
     """One vault: front-end queue + banks."""
 
@@ -104,6 +107,37 @@ class Vault:
                     vault=self.index, bank=bank_idx, row=dram_row,
                 )
         return done
+
+    # -- quiescence skipping --------------------------------------------------
+
+    def next_event_cycle(self, now: int) -> Optional[int]:
+        """Event-timed: the controller acts only when a request arrives.
+
+        ``frontend_ready`` and every bank's ``ready_cycle`` are absolute
+        stamps folded into response completion times at :meth:`access`;
+        no per-cycle state advances, so the vault schedules no wake.
+        """
+        return None
+
+    def skip_to(self, target: int) -> None:
+        """All state is absolute timestamps: skipping costs nothing."""
+
+    def busy_banks(self, now: int) -> int:
+        """Banks still occupied at ``now`` (strided timing query).
+
+        Batched over the vault's bank array by the vectorized kernels
+        (:func:`repro.sim.vector.busy_count`) — the introspection form
+        of "all vaults busy every cycle" used by hang snapshots and the
+        busy-phase bench.
+        """
+        return _vector.busy_count([b.ready_cycle for b in self.banks], now)
+
+    def busy_until(self) -> int:
+        """Latest cycle at which any of this vault's banks is occupied."""
+        return max(
+            self.frontend_ready,
+            _vector.max_ready([b.ready_cycle for b in self.banks]),
+        )
 
     # -- aggregates -----------------------------------------------------------
 

@@ -20,6 +20,7 @@ from typing import Iterator, List, Optional
 
 from repro.core.request import MemoryRequest
 from repro.obs.protocol import StatsMixin
+from repro.sim import register_wake_protocol
 
 from .lsq import LoadStoreQueue
 from .spm import ScratchpadMemory
@@ -37,6 +38,7 @@ class CoreStats(StatsMixin):
     finished_cycle: int = -1
 
 
+@register_wake_protocol
 class InOrderCore:
     """One cache-less core replaying a memory-operation stream."""
 

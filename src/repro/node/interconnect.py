@@ -13,6 +13,8 @@ import heapq
 from dataclasses import dataclass
 from typing import Any, List, Optional, Tuple
 
+from repro.sim import register_wake_protocol
+
 
 @dataclass(frozen=True, slots=True)
 class Hop:
@@ -23,6 +25,7 @@ class Hop:
     payload: Any
 
 
+@register_wake_protocol
 class Interconnect:
     """Fixed-latency point-to-point fabric between nodes."""
 

@@ -24,7 +24,7 @@ from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import flatten
 from repro.obs.protocol import StatsMixin
 from repro.obs.tracer import NULL_TRACER
-from repro.sim import ClockedModel
+from repro.sim import ClockedModel, register_wake_protocol
 
 from .core import InOrderCore
 from .spm import ScratchpadMemory
@@ -59,8 +59,19 @@ class NodeStats(StatsMixin):
     link_bandwidth_loss: float = 0.0
 
 
+@register_wake_protocol
 class Node(ClockedModel):
-    """Closed-loop simulation of one node of the Fig. 4 architecture."""
+    """Closed-loop simulation of one node of the Fig. 4 architecture.
+
+    The node runs a per-core event wheel: each core is ACTIVE (ticked
+    every cycle), PARKED (scheduled to wake at a known future cycle on
+    the ``_core_wake`` heap — an SPM retirement or issue cooldown), or
+    BLOCKED (wakes only when a response delivery reactivates it).  A
+    parked or blocked core's per-cycle accounting is deferred and
+    applied in bulk via ``core.skip(parked_at, now)`` at reactivation,
+    so results stay bit-identical to ticking every core every cycle
+    while the hot loop touches only the cores that can act.
+    """
 
     _overrun_msg = "node simulation exceeded max_cycles"
 
@@ -123,14 +134,53 @@ class Node(ClockedModel):
         #: scan over every core (multithreaded cores may host a thread
         #: whose tid does not match their position in ``self.cores``).
         self._issuer: Dict[Tuple[int, int], object] = {}
+        self._reset_wheel()
+
+    # -- per-core event wheel ------------------------------------------------
+
+    def _reset_wheel(self) -> None:
+        """(Re)build the wheel; every core starts ACTIVE at this cycle."""
+        n = len(self.cores)
+        self._wheel_size = n
+        self._core_active = [True] * n
+        self._active_count = n
+        #: Cycle up to which each inactive core's accounting is settled.
+        self._core_parked_at = [self._cycle] * n
+        #: Scheduled wake cycle per core (None = blocked on a delivery).
+        self._core_wake: List[Optional[int]] = [None] * n
+        #: Min-heap of (wake_cycle, core_index); entries whose cycle no
+        #: longer matches ``_core_wake`` are stale and dropped on pop.
+        self._wake_heap: List[Tuple[int, int]] = []
+        for i, core in enumerate(self.cores):
+            core._wheel_idx = i
+
+    def _activate(self, idx: int, cycle: int) -> None:
+        """Catch an inactive core up to ``cycle`` and mark it active."""
+        parked = self._core_parked_at[idx]
+        if cycle > parked:
+            self.cores[idx].skip(parked, cycle)
+        self._core_active[idx] = True
+        self._active_count += 1
+        self._core_wake[idx] = None
+
+    def _sync_cores(self) -> None:
+        """Apply deferred accounting of inactive cores up to now.
+
+        Cores stay parked/blocked; only their bulk counters advance.
+        Needed before any external observation of core stats.
+        """
+        now = self._cycle
+        for idx, active in enumerate(self._core_active):
+            if not active and self._core_parked_at[idx] < now:
+                self.cores[idx].skip(self._core_parked_at[idx], now)
+                self._core_parked_at[idx] = now
 
     def done(self) -> bool:
-        return (
-            all(c.done for c in self.cores)
-            and self.mac.idle()
-            and not self._in_flight
-            and not self.mac.response_router.outstanding
-        )
+        if self._in_flight or not self.mac.idle():
+            return False
+        if self.mac.response_router.outstanding:
+            return False
+        return all(c.done for c in self.cores)
 
     @property
     def degraded(self) -> bool:
@@ -144,6 +194,7 @@ class Node(ClockedModel):
         device's (``device.*``/``vaults.*``/``links.*``/``faults.*``)
         already-namespaced views with ``node.*`` and summed ``cores.*``.
         """
+        self._sync_cores()
         out = flatten(self.stats.snapshot(), "node.")
         out.update(self.mac.metrics())
         out.update(self.device.metrics())
@@ -157,38 +208,70 @@ class Node(ClockedModel):
 
     def tick(self) -> None:
         cycle = self._cycle
+        if self._wheel_size != len(self.cores):
+            self._reset_wheel()
+
+        # 0. Wake parked cores whose scheduled cycle has arrived.
+        wheap = self._wake_heap
+        while wheap and wheap[0][0] <= cycle:
+            wake, idx = heapq.heappop(wheap)
+            if self._core_wake[idx] == wake and not self._core_active[idx]:
+                self._activate(idx, cycle)
 
         # 1. Deliver responses that completed by now.
         while self._in_flight and self._in_flight[0][0] <= cycle:
             _, _, resp = heapq.heappop(self._in_flight)
             self.mac.receive_response(resp)
-        local, remote = self.mac.deliver_responses()
-        self.pending_remote.extend(remote)
-        at = self.attrib
-        for target, raw in local:
-            if at.enabled:
-                # Inlined AttributionCollector.mark (hot: every response).
-                m = raw.marks
-                if m is None:
-                    m = raw.marks = {}
-                m["deliver"] = cycle
-                at.finalize(raw)
-            self.deliver_completion(target, raw, cycle)
-            self.stats.responses_delivered += 1
+        if self.mac.response_router.buffered:
+            local, remote = self.mac.deliver_responses()
+            self.pending_remote.extend(remote)
+            at = self.attrib
+            for target, raw in local:
+                if at.enabled:
+                    # Inlined AttributionCollector.mark (hot: every response).
+                    m = raw.marks
+                    if m is None:
+                        m = raw.marks = {}
+                    m["deliver"] = cycle
+                    at.finalize(raw)
+                self.deliver_completion(target, raw, cycle)
+                self.stats.responses_delivered += 1
 
-        # 2. Cores issue (round-robin fairness is inherent: all tick).
-        for core in self.cores:
+        # 2. Active cores issue.  Iterating in list order preserves the
+        # arbitration order of the all-cores lockstep loop, so contention
+        # for the last MAC input slot resolves identically.
+        active = self._core_active
+        cores = self.cores
+        submit = self.mac.submit
+        for idx in range(self._wheel_size):
+            if not active[idx]:
+                continue
+            core = cores[idx]
             req = core.tick(cycle)
             if req is not None:
-                if self.mac.submit(req):
+                if submit(req):
                     self.stats.requests_issued += 1
                     if not req.is_fence:
                         # Fences never get a response; everything else is
                         # matched back to its issuer at delivery time.
                         self._issuer[(req.tid, req.tag)] = core
                 else:
-                    # Input queue full: the core re-issues next cycle.
+                    # Input queue full: the core re-issues next cycle, so
+                    # it must stay active regardless of its wake probe.
                     core.retry()
+                    continue
+            # Park decision: where can this core act next on its own?
+            w = core.next_event_cycle(cycle + 1)
+            if w is None:
+                active[idx] = False
+                self._active_count -= 1
+                self._core_parked_at[idx] = cycle + 1
+            elif w > cycle + 1:
+                active[idx] = False
+                self._active_count -= 1
+                self._core_parked_at[idx] = cycle + 1
+                self._core_wake[idx] = w
+                heapq.heappush(wheap, (w, idx))
 
         # 3. MAC advances; emitted packets enter the device.
         faulty = self.device.injector is not None
@@ -227,6 +310,14 @@ class Node(ClockedModel):
         core = self._issuer.pop((target.tid, target.tag), None)
         if core is None:
             core = self.cores[raw.core % len(self.cores)]
+        # Reactivate the issuer BEFORE completing: core.skip reads the
+        # pre-delivery LSQ/fence state, so the deferred span must be
+        # settled while that state is still what every skipped tick saw.
+        idx = getattr(core, "_wheel_idx", None)
+        if idx is None or idx >= self._wheel_size or self.cores[idx] is not core:
+            self._reset_wheel()
+        elif not self._core_active[idx]:
+            self._activate(idx, cycle)
         core.complete(target.tid, target.tag, cycle)
 
     # -- quiescence skipping -------------------------------------------------
@@ -234,12 +325,17 @@ class Node(ClockedModel):
     def next_event_cycle(self, now: int) -> Optional[int]:
         """Earliest cycle >= ``now`` at which this node can make progress.
 
-        Wake sources: the in-flight response heap head, the loss-recovery
-        timeout deadline (fault injection), and each core's own schedule
-        (SPM retirements, issue cooldowns, finish-cycle stamping).  A
-        busy MAC (anything buffered in its queues, ARQ or builder) pins
-        the node to lockstep, as does any undelivered response payload.
+        O(1) thanks to the per-core event wheel: any active core pins the
+        node to ``now``; otherwise the wake is the minimum of the core
+        wake heap head, the in-flight response heap head, and the
+        loss-recovery timeout deadline (fault injection).  A busy MAC
+        (anything buffered in its queues, ARQ or builder) pins the node
+        to lockstep, as does any undelivered response payload.
         """
+        if self._wheel_size != len(self.cores):
+            return now  # cores were swapped; next tick rebuilds the wheel
+        if self._active_count:
+            return now
         if not self.mac.idle():
             return now
         rr = self.mac.response_router
@@ -260,23 +356,31 @@ class Node(ClockedModel):
                     return now
                 if wake is None or deadline < wake:
                     wake = deadline
-        for core in self.cores:
-            w = core.next_event_cycle(now)
-            if w is None:
+        wheap = self._wake_heap
+        while wheap:
+            w, idx = wheap[0]
+            if self._core_wake[idx] != w or self._core_active[idx]:
+                heapq.heappop(wheap)  # stale entry
                 continue
             if w <= now:
                 return now
             if wake is None or w < wake:
                 wake = w
+            break
         return wake
 
     def skip_to(self, target: int) -> None:
-        """Fast-forward the node over a proven-quiescent span."""
+        """Fast-forward the node over a proven-quiescent span.
+
+        Inactive cores are left parked — their deferred spans simply grow
+        to ``target`` and settle at reactivation (or in
+        :meth:`_sync_cores` before stats are read).  ``next_event_cycle``
+        only ever returns a future wake when no core is active, so there
+        is no active-core accounting to replay here.
+        """
         start = self._cycle
         if target <= start:
             return
-        for core in self.cores:
-            core.skip(start, target)
         self.mac.skip_to(target)
         self._cycle = target
 
@@ -304,6 +408,8 @@ class Node(ClockedModel):
             self.stats.requests_issued,
             self.stats.responses_delivered,
             sum(c.stats.issued for c in self.cores),
+            self._active_count,
+            len(self._wake_heap),
             len(self._in_flight),
             len(self._issuer),
             len(self.pending_remote),
@@ -312,6 +418,7 @@ class Node(ClockedModel):
 
     def hang_snapshot(self) -> dict:
         """Diagnostic state attached to a :class:`SimulationHang`."""
+        self._sync_cores()
         snap = self.mac.hang_snapshot()
         snap.update(
             cycle=self._cycle,
@@ -321,6 +428,8 @@ class Node(ClockedModel):
             pending_remote=len(self.pending_remote),
             cores_done=sum(1 for c in self.cores if c.done),
             cores=len(self.cores),
+            cores_active=self._active_count,
+            cores_scheduled=len(self._wake_heap),
         )
         if self.device.injector is not None:
             snap["failed_links"] = list(self.device.failed_links)
@@ -423,6 +532,7 @@ class Node(ClockedModel):
             for cid, streams in enumerate(groups)
             if streams
         ]
+        node._reset_wheel()
         return node
 
     def run(self, max_cycles: int = 50_000_000, engine=None) -> NodeStats:
@@ -433,6 +543,7 @@ class Node(ClockedModel):
         falls back to lockstep.
         """
         self._run_loop(max_cycles, engine=engine)
+        self._sync_cores()
         st = self.stats
         st.cycles = self._cycle
         st.coalescing_efficiency = self.mac.stats.coalescing_efficiency

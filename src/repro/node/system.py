@@ -21,7 +21,7 @@ from repro.obs.protocol import StatsMixin
 
 from repro.obs.metrics import flatten
 from repro.obs.tracer import NULL_TRACER
-from repro.sim import ClockedModel
+from repro.sim import ClockedModel, register_wake_protocol
 
 from .interconnect import Interconnect
 from .node import Node
@@ -57,6 +57,7 @@ class SystemStats(StatsMixin):
     reissued_packets: int = 0
 
 
+@register_wake_protocol
 class NUMASystem(ClockedModel):
     """A small mesh of MAC-equipped nodes sharing one address space."""
 

@@ -13,12 +13,15 @@ from .kernel import (
     DEFAULT_ENGINE,
     ENGINE_ENV_VAR,
     ENGINES,
+    WAKE_PROTOCOL_REGISTRY,
     Clocked,
     ClockedModel,
     LockstepEngine,
     SkipEngine,
     engine_names,
     get_engine,
+    register_wake_protocol,
+    wake_protocol_offenders,
 )
 from .watchdog import (
     CHECK_ENV_VAR,
@@ -34,6 +37,9 @@ from .watchdog import (
 __all__ = [
     "Clocked",
     "ClockedModel",
+    "WAKE_PROTOCOL_REGISTRY",
+    "register_wake_protocol",
+    "wake_protocol_offenders",
     "LockstepEngine",
     "SkipEngine",
     "ENGINES",

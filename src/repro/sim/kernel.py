@@ -31,12 +31,59 @@ environment variable, then to lockstep.
 from __future__ import annotations
 
 import os
+import warnings
 from typing import Callable, List, Optional, Protocol, runtime_checkable
 
 from .watchdog import default_watchdog
 
 #: Environment variable consulted when no engine is given explicitly.
 ENGINE_ENV_VAR = "REPRO_SIM_ENGINE"
+
+
+#: Every component class participating in the per-component wake
+#: protocol registers here (via :func:`register_wake_protocol`).  The
+#: registry exists because ``ClockedModel.next_event_cycle`` defaults to
+#: ``now`` — safe (never skips) but silent: one component forgetting to
+#: override it disables skipping system-wide with no visible symptom
+#: except lost speed.  The sanitizer (``REPRO_SIM_CHECK=1``) and a unit
+#: test audit the registry so that failure mode is loud.
+WAKE_PROTOCOL_REGISTRY: List[type] = []
+
+
+def register_wake_protocol(cls):
+    """Class decorator: enroll ``cls`` in the wake-protocol audit."""
+    WAKE_PROTOCOL_REGISTRY.append(cls)
+    return cls
+
+
+def wake_protocol_offenders(cls=None) -> List[type]:
+    """Registered classes that still use the never-skip default.
+
+    A class offends when it neither defines its own ``next_event_cycle``
+    nor inherits one from anywhere other than :class:`ClockedModel`'s
+    default (which is tagged ``_default_wake``).  Pass ``cls`` to audit
+    a single class instead of the whole registry.
+    """
+    targets = [cls] if cls is not None else WAKE_PROTOCOL_REGISTRY
+    offenders = []
+    for target in targets:
+        fn = getattr(target, "next_event_cycle", None)
+        if fn is None or getattr(fn, "_default_wake", False):
+            offenders.append(target)
+    return offenders
+
+
+def _warn_default_wake(sim) -> None:
+    """Sanitizer warning for a model running on the never-skip default."""
+    cls = type(sim)
+    if wake_protocol_offenders(cls):
+        warnings.warn(
+            f"{cls.__module__}.{cls.__qualname__} does not override "
+            "ClockedModel.next_event_cycle; the skip engine will never "
+            "skip while it is in the loop (lockstep-equivalent but slow)",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
 
 @runtime_checkable
@@ -91,8 +138,15 @@ class ClockedModel:
         the model schedules no wake of its own (the engine then falls back
         to single-stepping, preserving lockstep behaviour — including the
         max-cycles guard — on models that would otherwise spin forever).
+
+        This default is deliberately conservative — and therefore a
+        silent performance trap: a registered component relying on it
+        disables skipping system-wide.  The sanitizer warns (see
+        :func:`wake_protocol_offenders`).
         """
         return now
+
+    next_event_cycle._default_wake = True  # tagged for the registry audit
 
     def skip_to(self, target: int) -> None:
         """Fast-forward to ``target``, bulk-applying per-cycle accounting.
@@ -188,13 +242,14 @@ class SkipEngine:
         wd = self.watchdog
         if wd.enabled:
             wd.reset()
-        # Probe backoff: during sustained busy phases every probe answers
-        # "now", so double the gap between probes (capped) and pay the
-        # wake-event walk on ~1/64 of busy ticks.  Quiescent ticks are
-        # still entered at most `gap` cycles late — and ticking through
-        # them is lockstep behaviour, so results are unaffected.
-        gap = 0  # current backoff (ticks between probes)
-        wait = 0  # ticks until the next probe
+            if getattr(wd, "sanitize", False):
+                _warn_default_wake(sim)
+        # The wake probe runs every tick.  The per-component event wheel
+        # keeps ``next_event_cycle`` O(1) on the hot models (Node tracks
+        # its earliest wake incrementally instead of walking every core),
+        # so probing each cycle is cheap — and it catches the short
+        # quiescent pockets inside busy phases that the old exponential
+        # probe backoff (probe every <=64 ticks) used to sail past.
         while not sim.done():
             out = sim.tick()
             if on_tick is not None and out:
@@ -203,18 +258,11 @@ class SkipEngine:
                 wd.observe(sim)
             if sim.cycle - start > max_cycles:
                 raise RuntimeError(sim._overrun_msg)
-            if wait:
-                wait -= 1
-                continue
             wake = sim.next_event_cycle(sim.cycle)
             if wake is not None and wake > sim.cycle:
                 # Never skip past the guard: lockstep raises with the
                 # counter at limit + 1, and so must we.
                 sim.skip_to(min(wake, limit))
-                gap = 0
-            else:
-                gap = min(gap * 2 or 1, 64)
-                wait = gap
         if wd.enabled:
             wd.finish(sim)
         return sim.cycle

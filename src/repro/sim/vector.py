@@ -1,0 +1,166 @@
+"""Vectorized busy-phase kernels (DESIGN.md section 10).
+
+The dense inner loops of the busy phase — the builder's FLIT-map
+OR-reduction, the ARQ's all-entries comparator match, and strided
+bank-timing queries across a vault's banks — are batched here as
+array-style kernels.  Each kernel has a pure-Python fallback with
+identical results, so the vectorized path is an optimization, never a
+semantic switch: the hypothesis equivalence suite runs the suite with
+the kernels both on and off and asserts bit-identical outcomes.
+
+Gating: ``REPRO_SIM_VECTOR`` (default on).  Set ``REPRO_SIM_VECTOR=0``
+to force the pure-Python fallbacks — CI runs tier-1 both ways.  When
+numpy is unavailable the fallbacks are used regardless of the flag.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # numpy ships with the toolchain; degrade gracefully without it.
+    import numpy as _np
+except ImportError:  # pragma: no cover - toolchain always has numpy
+    _np = None
+
+#: Environment knob: ``REPRO_SIM_VECTOR=0`` disables the numpy kernels.
+VECTOR_ENV_VAR = "REPRO_SIM_VECTOR"
+
+
+def have_numpy() -> bool:
+    """Whether numpy is importable in this environment."""
+    return _np is not None
+
+
+def enabled() -> bool:
+    """Whether the vectorized kernels are active (env-gated, default on)."""
+    if _np is None:
+        return False
+    return os.environ.get(VECTOR_ENV_VAR, "1") not in ("", "0")
+
+
+# ---------------------------------------------------------------------------
+# FLIT-map OR-reduction (builder stage 1)
+# ---------------------------------------------------------------------------
+
+#: (nflits, groups) -> lookup table mapping a FLIT bitmap to its group
+#: bits.  For the paper geometry (16 FLITs, 4 groups) the table has
+#: 65536 single-byte entries; building it is a one-time vectorized
+#: sweep, and every stage-1 OR-reduction afterwards is one array index.
+_GROUP_TABLES: Dict[Tuple[int, int], object] = {}
+
+#: Don't table geometries wider than this (table size 2**nflits).
+_MAX_TABLE_FLITS = 16
+
+
+def _build_group_table(nflits: int, groups: int):
+    per = nflits // groups
+    mask = (1 << per) - 1
+    if _np is not None:
+        maps = _np.arange(1 << nflits, dtype=_np.uint32)
+        out = _np.zeros(1 << nflits, dtype=_np.uint8)
+        for g in range(groups):
+            out |= (((maps >> (g * per)) & mask) != 0).astype(_np.uint8) << g
+        return out
+    table = bytearray(1 << nflits)
+    for bits in range(1 << nflits):
+        acc = 0
+        for g in range(groups):
+            if (bits >> (g * per)) & mask:
+                acc |= 1 << g
+        table[bits] = acc
+    return bytes(table)
+
+
+def group_bits(bits: int, nflits: int, groups: int) -> int:
+    """OR-reduce a FLIT bitmap into ``groups`` group bits.
+
+    Exactly :meth:`repro.core.flit.FlitMap.group_bits`, served from a
+    precomputed lookup table when the kernels are enabled and the
+    geometry is tableable; the caller falls back to the loop otherwise.
+    """
+    key = (nflits, groups)
+    table = _GROUP_TABLES.get(key)
+    if table is None:
+        table = _build_group_table(nflits, groups)
+        _GROUP_TABLES[key] = table
+    return int(table[bits])
+
+
+def group_table_ready(nflits: int, groups: int) -> bool:
+    """Whether the table path applies to this geometry under the gate."""
+    return (
+        enabled()
+        and nflits <= _MAX_TABLE_FLITS
+        and groups >= 1
+        and nflits % groups == 0
+    )
+
+
+# ---------------------------------------------------------------------------
+# ARQ comparator match (all entries at once)
+# ---------------------------------------------------------------------------
+
+
+def oldest_match(keys: Sequence[int], key: int) -> Optional[int]:
+    """Index of the *oldest* (lowest-index) entry whose key matches.
+
+    The hardware comparator bank compares the candidate key against all
+    ARQ entries simultaneously and a priority encoder picks the oldest
+    hit; this is the argmax-style batch form of that match.  ``keys``
+    is the comparator-visible key per entry, oldest first, with
+    non-mergeable slots masked out as ``None``.
+    """
+    if _np is not None and enabled() and len(keys) >= 8:
+        arr = _np.fromiter(
+            (k if k is not None else -(1 << 62) for k in keys),
+            dtype=_np.int64,
+            count=len(keys),
+        )
+        hits = _np.nonzero(arr == key)[0]
+        return int(hits[0]) if hits.size else None
+    for i, k in enumerate(keys):
+        if k == key:
+            return i
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Strided bank-timing queries (vault/device introspection)
+# ---------------------------------------------------------------------------
+
+
+def busy_count(ready_cycles: Sequence[int], now: int) -> int:
+    """How many of the given next-free stamps are still in the future."""
+    if _np is not None and enabled() and len(ready_cycles) >= 8:
+        return int(
+            (_np.fromiter(ready_cycles, dtype=_np.int64, count=len(ready_cycles)) > now).sum()
+        )
+    return sum(1 for r in ready_cycles if r > now)
+
+
+def max_ready(ready_cycles: Sequence[int]) -> int:
+    """Latest next-free stamp across a strided bank-timing array."""
+    if _np is not None and enabled() and len(ready_cycles) >= 8:
+        return int(
+            _np.fromiter(ready_cycles, dtype=_np.int64, count=len(ready_cycles)).max()
+        )
+    return max(ready_cycles, default=0)
+
+
+def clear_tables() -> None:
+    """Drop cached lookup tables (tests that flip the env var use this)."""
+    _GROUP_TABLES.clear()
+
+
+__all__ = [
+    "VECTOR_ENV_VAR",
+    "have_numpy",
+    "enabled",
+    "group_bits",
+    "group_table_ready",
+    "oldest_match",
+    "busy_count",
+    "max_ready",
+    "clear_tables",
+]

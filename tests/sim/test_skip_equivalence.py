@@ -170,6 +170,134 @@ class TestFaultInjectionEquivalence:
         assert outcomes["skip"] == outcomes["lockstep"]
 
 
+#: Small cube for the busy-phase corpus: 4 vaults x 2 banks makes
+#: "every vault busy" cheap to reach and conflict-row scanning fast.
+def small_cube():
+    from repro.hmc.config import HMCConfig
+
+    return HMCConfig(vaults=4, banks_per_vault=2)
+
+
+def conflict_requests(cfg, core, ops, start=0, vault=0, bank=0):
+    """Distinct row-aligned addresses all mapping to one (vault, bank).
+
+    Every access forces a fresh closed-page row cycle on the same bank,
+    so the bank serializes the whole node at tRC granularity — the
+    deep-bank-conflict regime the per-core event wheel targets.
+    """
+    out = []
+    row = 0
+    matched = 0
+    while len(out) < ops:
+        addr = row << cfg.row_offset_bits
+        if cfg.vault_of(addr) == vault and cfg.bank_of(addr) == bank:
+            if matched >= start:  # cores pass disjoint [start, start+ops) windows
+                out.append(
+                    MemoryRequest(
+                        addr=addr | ((len(out) % 16) << 4),
+                        rtype=RequestType.LOAD if len(out) % 4 else RequestType.STORE,
+                        tid=core,
+                        tag=len(out),
+                        core=core,
+                    )
+                )
+            matched += 1
+        row += 1
+    return out
+
+
+class TestBusyPhaseEquivalence:
+    """Bandwidth-bound shapes: saturated vaults and deep bank conflicts.
+
+    The per-core event wheel and the vectorized kernels only pay off in
+    these regimes, so this is where their accounting is most likely to
+    drift — every case pins cycles *and* the full metrics dict.
+    """
+
+    def run_conflict_node(self, engine, cores=4, ops=40, lsq_capacity=None):
+        cfg = small_cube()
+        node = Node(
+            [
+                iter(conflict_requests(cfg, c, ops, start=c * ops))
+                for c in range(cores)
+            ],
+            hmc_config=cfg,
+            lsq_capacity=lsq_capacity,
+        )
+        node.run(engine=engine)
+        return node
+
+    def test_deep_bank_conflict(self):
+        lock = self.run_conflict_node("lockstep")
+        skip = self.run_conflict_node("skip")
+        assert skip.cycle == lock.cycle
+        assert skip.metrics() == lock.metrics()
+        # Sanity: the single bank really did serialize the run — far
+        # more cycles than a conflict-free device would need.
+        assert lock.stats.cycles > 20 * lock.stats.requests_issued
+
+    def test_all_vaults_busy_every_cycle(self):
+        """Dense random traffic across every vault of the small cube."""
+        cfg = small_cube()
+        spec = (4, 48, 32, 13, False)
+        outcomes = {}
+        for engine in ENGINES:
+            node = Node(
+                [iter(make_requests(spec, c)) for c in range(4)],
+                hmc_config=cfg,
+            )
+            node.run(engine=engine)
+            outcomes[engine] = (node.cycle, node.metrics())
+        assert outcomes["skip"] == outcomes["lockstep"]
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        lsq_capacity=st.sampled_from([None, 1, 4]),
+        arq_entries=st.sampled_from([2, 32]),
+    )
+    def test_conflict_plus_random_mix(self, seed, lsq_capacity, arq_entries):
+        """Half the cores hammer one bank, half spray random rows."""
+        cfg = small_cube()
+
+        def build(engine):
+            streams = [
+                iter(conflict_requests(cfg, 0, 24)),
+                iter(conflict_requests(cfg, 1, 24, start=24)),
+                iter(make_requests((4, 32, 16, seed, True), 2)),
+                iter(make_requests((4, 32, 16, seed, False), 3)),
+            ]
+            node = Node(
+                streams,
+                system=SystemConfig(mac=MACConfig(arq_entries=arq_entries)),
+                hmc_config=cfg,
+                lsq_capacity=lsq_capacity,
+            )
+            node.run(engine=engine)
+            return node
+
+        lock = build("lockstep")
+        skip = build("skip")
+        assert skip.cycle == lock.cycle
+        assert skip.metrics() == lock.metrics()
+
+    def test_vector_kernels_off_is_bit_identical(self, monkeypatch):
+        """REPRO_SIM_VECTOR=0 (pure-Python fallbacks) changes nothing."""
+        from repro.sim import vector
+
+        results = {}
+        for flag in ("1", "0"):
+            monkeypatch.setenv(vector.VECTOR_ENV_VAR, flag)
+            vector.clear_tables()
+            lock = self.run_conflict_node("lockstep", lsq_capacity=4)
+            skip = self.run_conflict_node("skip", lsq_capacity=4)
+            assert skip.cycle == lock.cycle
+            assert skip.metrics() == lock.metrics()
+            results[flag] = lock.metrics()
+        vector.clear_tables()
+        assert results["0"] == results["1"]
+
+
 class TestNUMAEquivalence:
     def test_two_node_remote_traffic(self):
         outcomes = {}
