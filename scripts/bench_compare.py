@@ -112,10 +112,26 @@ def main(argv=None) -> int:
         default=0.2,
         help="allowed relative wall-time growth before failing (default 0.2)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="fail unless the candidate set has a benchmark whose name "
+        "starts with PREFIX (repeatable); guards against a figure "
+        "silently dropping out of the suite",
+    )
     args = parser.parse_args(argv)
 
     baseline = load_artifacts(args.baseline)
     candidate = load_artifacts(args.candidate)
+    for prefix in args.require:
+        if not any(name.startswith(prefix) for name in candidate):
+            print(
+                f"required benchmark missing from candidate set: {prefix}*",
+                file=sys.stderr,
+            )
+            return 1
     regressions = compare(baseline, candidate, args.threshold)
     if regressions:
         print(

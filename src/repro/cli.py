@@ -218,14 +218,83 @@ def cmd_replay(args) -> int:
     return 0
 
 
-def cmd_run(args) -> int:
+def _write_metrics_out(metrics: dict, path) -> None:
     import json
+    import math
 
+    from repro.ioutil import atomic_write_text
+
+    # Undefined ratios (nan) become null: the file stays strict JSON.
+    clean = {
+        k: (None if isinstance(v, float) and math.isnan(v) else v)
+        for k, v in metrics.items()
+    }
+    atomic_write_text(
+        path,
+        json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str),
+    )
+    print(f"wrote {len(clean)} metrics to {path}")
+
+
+def _cmd_run_numa(args) -> int:
+    """`repro run --nodes N`: closed-loop NUMA mesh, optionally sharded."""
+    from repro.eval.runner import numa_closed_loop
+
+    if args.trace_out or getattr(args, "attribution", False):
+        print(
+            "note: --trace-out/--attribution pin the run to one process "
+            "and are not supported with --nodes; ignoring them"
+        )
+    system = numa_closed_loop(
+        args.benchmark,
+        nodes=args.nodes,
+        threads=args.threads,
+        ops_per_thread=args.ops,
+        seed=_effective_seed(args),
+        interconnect_latency=args.interconnect_latency,
+        interleave_bytes=args.interleave_bytes,
+        config=_mac_config(args),
+        shards=args.shards,
+        engine=args.engine,
+    )
+    st = system.stats
+    report = system.shard_report
+    backend = (
+        f"PDES x{report.shards} ({report.windows} windows"
+        + (f", {report.restarts} restarts" if report.restarts else "")
+        + ")"
+        if report
+        else "serial"
+    )
+    print(
+        format_table(
+            ["metric", "value"],
+            [
+                ["nodes", args.nodes],
+                ["backend", backend],
+                ["cycles", st.cycles],
+                ["local requests", st.local_requests],
+                ["remote requests", st.remote_requests],
+                ["remote responses", st.responses],
+                ["fabric messages", st.fabric_messages],
+                ["fabric credit stalls", st.fabric_credit_stalls],
+            ],
+            title=f"{args.benchmark} on a {args.nodes}-node mesh",
+        )
+    )
+    if args.metrics_out:
+        _write_metrics_out(system.metrics(), args.metrics_out)
+    return 0
+
+
+def cmd_run(args) -> int:
     from repro.eval.runner import dispatch, replay_on_device
     from repro.obs import NULL_ATTRIBUTION, NULL_TRACER, EventTracer
     from repro.obs.attribution import AttributionCollector
     from repro.obs.metrics import flatten
 
+    if args.nodes > 1:
+        return _cmd_run_numa(args)
     tracer = (
         EventTracer(capacity=args.trace_capacity) if args.trace_out else NULL_TRACER
     )
@@ -280,20 +349,7 @@ def cmd_run(args) -> int:
         dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
         print(f"wrote {n} trace events to {args.trace_out}{dropped}")
     if args.metrics_out:
-        import math
-
-        from repro.ioutil import atomic_write_text
-
-        # Undefined ratios (nan) become null: the file stays strict JSON.
-        clean = {
-            k: (None if isinstance(v, float) and math.isnan(v) else v)
-            for k, v in metrics.items()
-        }
-        atomic_write_text(
-            args.metrics_out,
-            json.dumps(clean, indent=2, sort_keys=True, allow_nan=False, default=str),
-        )
-        print(f"wrote {len(clean)} metrics to {args.metrics_out}")
+        _write_metrics_out(metrics, args.metrics_out)
     return 0
 
 
@@ -302,14 +358,36 @@ def cmd_analyze(args) -> int:
 
     from repro.obs.analyze import (
         build_report,
+        diff_metrics,
         diff_reports,
         format_diff,
+        format_metrics_diff,
         format_report,
+        is_flat_metrics,
+        load_json,
         load_report,
+        report_from_metrics,
     )
 
     if args.diff:
-        a, b = (load_report(p) for p in args.diff)
+        raw_a, raw_b = (load_json(p) for p in args.diff)
+        def attribution_free(d):
+            return is_flat_metrics(d) and not any(
+                k.startswith("attribution.") for k in d
+            )
+
+        if attribution_free(raw_a) and attribution_free(raw_b):
+            # Two plain --metrics-out files: key-by-key determinism diff
+            # (the sharded-vs-serial smoke); attribution-bearing files
+            # still get the bottleneck-stage report diff below.
+            diff = diff_metrics(raw_a, raw_b)
+            if args.json:
+                print(json.dumps(diff, indent=2, sort_keys=True, default=str))
+            else:
+                print(format_metrics_diff(diff))
+            return 0 if diff["identical"] else 3
+        a = raw_a if not is_flat_metrics(raw_a) else report_from_metrics(raw_a)
+        b = raw_b if not is_flat_metrics(raw_b) else report_from_metrics(raw_b)
         diff = diff_reports(a, b)
         if args.json:
             print(json.dumps(diff, indent=2, sort_keys=True, default=str))
@@ -563,6 +641,34 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     _add_mac_args(p)
     _add_engine_arg(p)
+    numa = p.add_argument_group("NUMA mesh (closed loop)")
+    numa.add_argument(
+        "--nodes",
+        type=int,
+        default=1,
+        help="simulate an N-node NUMA mesh instead of the single-node "
+        "open loop (each node runs its own copy of the benchmark)",
+    )
+    numa.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="worker processes for the conservative-PDES backend "
+        "(0 = one per CPU; default $REPRO_SIM_SHARDS or serial); "
+        "results are bit-identical to serial",
+    )
+    numa.add_argument(
+        "--interconnect-latency",
+        type=int,
+        default=120,
+        help="node-to-node hop latency in cycles (the PDES lookahead)",
+    )
+    numa.add_argument(
+        "--interleave-bytes",
+        type=int,
+        default=1 << 12,
+        help="address-interleaving granularity across nodes",
+    )
     obs = p.add_argument_group("observability")
     obs.add_argument(
         "--trace-out",

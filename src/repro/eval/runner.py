@@ -353,3 +353,67 @@ def attributed_node_run(
     )
     node.run(engine=engine)
     return at, node
+
+
+def numa_streams(
+    name: str,
+    nodes: int,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    seed: int = DEFAULT_SEED,
+) -> List[List]:
+    """Per-node, per-core request streams of one benchmark for a mesh.
+
+    Each node generates its own trace with a node-derived seed, so the
+    mesh runs ``nodes`` independent instances of the workload over the
+    shared interleaved address space — the paper's Fig. 4 setup scaled
+    out.  Requests are stamped with their origin node so responses can
+    find their way home.
+    """
+    from repro.seeding import derive_seed
+
+    out: List[List] = []
+    for n in range(nodes):
+        trace = cached_trace(
+            name, threads, ops_per_thread, derive_seed(seed, "node", n)
+        )
+        per_core: Dict[int, List] = {}
+        for req in to_requests(trace, node=n):
+            per_core.setdefault(req.core, []).append(req)
+        out.append([iter(reqs) for _, reqs in sorted(per_core.items())])
+    return out
+
+
+def numa_closed_loop(
+    name: str,
+    nodes: int = 4,
+    threads: int = DEFAULT_THREADS,
+    ops_per_thread: int = DEFAULT_OPS_PER_THREAD,
+    seed: int = DEFAULT_SEED,
+    interconnect_latency: int = 120,
+    interleave_bytes: int = 1 << 12,
+    config: Optional[MACConfig] = None,
+    hmc: Optional[HMCConfig] = None,
+    shards: Optional[int] = None,
+    engine=None,
+    max_cycles: int = 50_000_000,
+):
+    """Closed-loop NUMA mesh run of one benchmark; returns the system.
+
+    The multi-node sibling of :func:`attributed_node_run`: every node is
+    a full Fig. 4 node, remote requests coalesce at their home node, and
+    ``shards`` (or ``$REPRO_SIM_SHARDS``) selects the conservative-PDES
+    backend — bit-identical to serial by contract.
+    """
+    from repro.core.config import SystemConfig
+    from repro.node.system import NUMASystem
+
+    system = NUMASystem(
+        numa_streams(name, nodes, threads, ops_per_thread, seed),
+        system=SystemConfig(mac=config) if config is not None else None,
+        interconnect_latency=interconnect_latency,
+        interleave_bytes=interleave_bytes,
+        hmc_config=hmc,
+    )
+    system.run(max_cycles, engine=engine, shards=shards)
+    return system

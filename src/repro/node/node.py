@@ -299,13 +299,18 @@ class Node(ClockedModel):
 
         self._cycle += 1
 
-    def deliver_completion(self, target, raw, cycle: int) -> None:
+    def deliver_completion(self, target, raw, cycle: int) -> bool:
         """Hand one completed raw request back to the core that issued it.
 
         The issuer map is populated at submit time, so delivery is O(1);
         remote completions routed home by the NUMA system take the same
         path.  The modulo fallback only covers requests that never passed
         through :meth:`tick`'s submit (e.g. hand-built test traffic).
+
+        Returns True if a waiting core matched the completion.  False
+        means no LSQ/context entry was waiting — a duplicate of an
+        already-delivered completion; the caller suppresses and counts
+        it exactly once instead of double-completing.
         """
         core = self._issuer.pop((target.tid, target.tag), None)
         if core is None:
@@ -318,7 +323,21 @@ class Node(ClockedModel):
             self._reset_wheel()
         elif not self._core_active[idx]:
             self._activate(idx, cycle)
-        core.complete(target.tid, target.tag, cycle)
+        return core.complete(target.tid, target.tag, cycle)
+
+    def detach_streams(self) -> None:
+        """Replace per-core request streams with exhausted iterators.
+
+        Generators cannot cross a process boundary; after a completed
+        run the streams are drained anyway, so a shard worker shipping
+        its nodes back to the PDES parent (:mod:`repro.sim.pdes`) swaps
+        them for empty — picklable — iterators first.
+        """
+        for core in self.cores:
+            if hasattr(core, "_stream"):
+                core._stream = iter(())
+            for ctx in getattr(core, "contexts", ()):
+                ctx.stream = iter(())
 
     # -- quiescence skipping -------------------------------------------------
 

@@ -7,6 +7,14 @@ interconnect -> remote Remote Access Queue -> remote MAC -> remote HMC,
 and the response retraces the path.  Remote traffic coalesces in the
 *home* node's MAC together with that node's local traffic — the
 generality claim of section 3.
+
+Large meshes can be sharded across forked worker processes
+(:mod:`repro.sim.pdes`): ``run(shards=k)`` — or ``REPRO_SIM_SHARDS`` —
+partitions the nodes round-robin over ``k`` workers that advance in
+conservative safe windows of the fabric latency, bit-identical to the
+serial engines.  A restricted system (one shard's view of the mesh)
+simulates only ``self._local_ids``; the fabric exports hops bound for
+other shards and the PDES runner routes them at window barriers.
 """
 
 from __future__ import annotations
@@ -50,11 +58,22 @@ class SystemStats(StatsMixin):
     remote_requests: int = 0
     responses: int = 0
 
+    # Fabric flow control (credit-based interconnect).
+    fabric_messages: int = 0
+    fabric_credit_stalls: int = 0
+    remote_backpressure_stalls: int = 0
+
     # Degraded-mode outcomes (all zero when fault injection is off).
     failed_links: int = 0
     link_bandwidth_loss: float = 0.0
     poisoned_responses: int = 0
     reissued_packets: int = 0
+    response_timeouts: int = 0
+    duplicate_responses: int = 0
+    #: Remote completions that matched no waiting core — a duplicate of
+    #: an already-delivered response, suppressed (and counted) exactly
+    #: once instead of double-completing an LSQ entry.
+    duplicate_remote_drops: int = 0
 
 
 @register_wake_protocol
@@ -72,6 +91,7 @@ class NUMASystem(ClockedModel):
         hmc_config=None,
         tracer=NULL_TRACER,
         attrib=NULL_ATTRIBUTION,
+        channel_capacity: int = 64,
     ) -> None:
         n = len(streams_per_node)
         if n < 1:
@@ -92,46 +112,76 @@ class NUMASystem(ClockedModel):
             # Rewire the request router with the shared home function.
             node.mac.request_router.home_fn = self.home
             self.nodes.append(node)
-        self.fabric = Interconnect(interconnect_latency)
+        self.fabric = Interconnect(interconnect_latency, channel_capacity)
         self.stats = SystemStats()
         self._cycle = 0
+        #: Node ids simulated by this process (a subset under PDES).
+        self._local_ids: List[int] = list(range(n))
+        #: Filled by a sharded run (see :class:`repro.sim.pdes.ShardReport`).
+        self.shard_report = None
+
+    def restrict_to_shard(self, local_ids: Sequence[int]) -> None:
+        """Confine this system to one shard's node subset (PDES worker).
+
+        Ticking, quiescence probing, and skipping touch only the local
+        nodes; fabric sends to other shards' nodes accumulate as exports
+        for the window barrier.
+        """
+        self._local_ids = sorted(local_ids)
+        self.fabric.restrict(self._local_ids)
 
     def done(self) -> bool:
-        return all(node.done() for node in self.nodes) and self.fabric.in_flight == 0
+        return (
+            all(self.nodes[i].done() for i in self._local_ids)
+            and self.fabric.in_flight == 0
+        )
 
     def tick(self) -> None:
         cycle = self._cycle
 
-        # Fabric deliveries: raw requests into remote queues, response
-        # payloads back to the requesting core.
+        # Fabric arrivals: pump credit/admission state, then drain each
+        # ready channel — raw requests into remote queues, response
+        # payloads back to the requesting core.  A full Remote Access
+        # Queue head-of-line blocks its channel (the hop keeps its slot
+        # and retries next cycle) instead of bouncing across the fabric:
+        # flow control stays local and deterministic.
         at = self.attrib
-        for dst, payload in self.fabric.deliver(cycle):
+        fabric = self.fabric
+        fabric.pump(cycle)
+        for dst in fabric.ready_dsts():
             node = self.nodes[dst]
-            if isinstance(payload, MemoryRequest):
-                if not node.mac.submit_remote(payload):
-                    # Remote queue full: bounce back onto the fabric with
-                    # a retry delay (simple NACK protocol).
-                    self.fabric.send(cycle, dst, payload)
-                    if at.enabled:
-                        at.stall_span(
-                            "fabric",
-                            StallCause.RESPONSE_BACKPRESSURE,
-                            cycle,
-                            cycle + 1,
-                        )
-            else:  # (target, raw) completion pair heading home
-                target, raw = payload
-                node.deliver_completion(target, raw, cycle)
-                self.stats.responses += 1
-                if at.enabled:
-                    m = raw.marks
-                    if m is None:
-                        m = raw.marks = {}
-                    m["deliver"] = cycle
-                    at.finalize(raw)
+            while True:
+                payload = fabric.peek(dst)
+                if payload is None:
+                    break
+                if isinstance(payload, MemoryRequest):
+                    if not node.mac.submit_remote(payload):
+                        self.stats.remote_backpressure_stalls += 1
+                        if at.enabled:
+                            at.stall_span(
+                                "fabric",
+                                StallCause.RESPONSE_BACKPRESSURE,
+                                cycle,
+                                cycle + 1,
+                            )
+                        break
+                    fabric.pop(dst, cycle)
+                else:  # (target, raw) completion pair heading home
+                    target, raw = fabric.pop(dst, cycle)
+                    if node.deliver_completion(target, raw, cycle):
+                        self.stats.responses += 1
+                        if at.enabled:
+                            m = raw.marks
+                            if m is None:
+                                m = raw.marks = {}
+                            m["deliver"] = cycle
+                            at.finalize(raw)
+                    else:
+                        self.stats.duplicate_remote_drops += 1
 
         # Per-node progress, with remote routing.
-        for node in self.nodes:
+        for idx in self._local_ids:
+            node = self.nodes[idx]
             node.tick()
             # Outbound remote raw requests.
             while True:
@@ -139,10 +189,10 @@ class NUMASystem(ClockedModel):
                 if req is None:
                     break
                 self.stats.remote_requests += 1
-                self.fabric.send(cycle, self.home(req.addr), req)
+                self.fabric.send(cycle, self.home(req.addr), req, src=idx)
             # Responses for remote requesters (collected by node.tick).
             for target, raw in node.pending_remote:
-                self.fabric.send(cycle, raw.node, (target, raw))
+                self.fabric.send(cycle, raw.node, (target, raw), src=idx)
             node.pending_remote.clear()
 
         self._cycle += 1
@@ -160,7 +210,8 @@ class NUMASystem(ClockedModel):
         wake = self.fabric.next_event_cycle(now)
         if wake is not None and wake <= now:
             return now
-        for node in self.nodes:
+        for idx in self._local_ids:
+            node = self.nodes[idx]
             if not node.mac.request_router.global_queue.empty:
                 return now
             w = node.next_event_cycle(now)
@@ -176,8 +227,8 @@ class NUMASystem(ClockedModel):
         """Fast-forward the whole mesh over a proven-quiescent span."""
         if target <= self._cycle:
             return
-        for node in self.nodes:
-            node.skip_to(target)
+        for idx in self._local_ids:
+            self.nodes[idx].skip_to(target)
         self._cycle = target
 
     # -- robustness introspection (see repro.sim.watchdog) -------------------
@@ -187,7 +238,7 @@ class NUMASystem(ClockedModel):
         return (
             self.fabric.messages_sent,
             self.fabric.in_flight,
-            tuple(node.progress_token() for node in self.nodes),
+            tuple(self.nodes[i].progress_token() for i in self._local_ids),
         )
 
     def hang_snapshot(self) -> dict:
@@ -195,7 +246,9 @@ class NUMASystem(ClockedModel):
         return {
             "cycle": self._cycle,
             "fabric_in_flight": self.fabric.in_flight,
-            "nodes": {n.node_id: n.hang_snapshot() for n in self.nodes},
+            "nodes": {
+                i: self.nodes[i].hang_snapshot() for i in self._local_ids
+            },
         }
 
     def check_invariants(self) -> None:
@@ -207,11 +260,15 @@ class NUMASystem(ClockedModel):
         the fabric: every issuer-map entry in the mesh matches exactly
         one raw in some node's containers or one fabric payload (a raw
         request heading to its home, or a completion pair heading back).
+        The global check needs the whole mesh, so a shard-restricted
+        system runs only the per-node sweeps.
         """
         from repro.sim.watchdog import InvariantViolation
 
-        for node in self.nodes:
-            node.check_invariants()
+        for idx in self._local_ids:
+            self.nodes[idx].check_invariants()
+        if len(self._local_ids) != len(self.nodes):
+            return  # one shard cannot see raws held by the others
         if any(node.device.injector is not None for node in self.nodes):
             return  # fault injection drops/duplicates responses by design
         issued = sum(len(node._issuer) for node in self.nodes)
@@ -246,19 +303,68 @@ class NUMASystem(ClockedModel):
             out.update(flatten(node.metrics(), f"node{node.node_id}."))
         return out
 
-    def run(self, max_cycles: int = 50_000_000, engine=None) -> SystemStats:
+    def shard_blockers(self) -> List[str]:
+        """Why this system cannot shard (empty list = it can).
+
+        Attribution and tracing pin the run to one process: stall spans
+        watermark per shared site, so cross-shard merging would not be
+        exact — and the bit-identity contract admits no "almost".
+        """
+        out: List[str] = []
+        if len(self.nodes) < 2:
+            out.append("fewer than two nodes")
+        if self.fabric.latency_cycles < 1:
+            out.append("zero-latency fabric leaves no lookahead window")
+        if getattr(self.attrib, "enabled", False):
+            out.append("attribution enabled")
+        if getattr(self.tracer, "enabled", False):
+            out.append("event tracing enabled")
+        if self.fabric.in_flight:
+            # Hand-seeded pre-run traffic (tests, replay harnesses) is
+            # not re-partitioned: forking would clone it into every
+            # shard instead of routing it to its owner.
+            out.append("fabric holds pre-seeded in-flight traffic")
+        return out
+
+    def run(
+        self,
+        max_cycles: int = 50_000_000,
+        engine=None,
+        shards: Optional[int] = None,
+    ) -> SystemStats:
         """Simulate until every node drains; returns the filled stats.
 
         ``engine`` selects the simulation engine (name or instance, see
         :mod:`repro.sim`); the default honours ``$REPRO_SIM_ENGINE`` and
-        falls back to lockstep.
+        falls back to lockstep.  ``shards`` > 1 — defaulting to
+        ``$REPRO_SIM_SHARDS`` — runs the mesh under conservative PDES
+        (:mod:`repro.sim.pdes`), bit-identical to the serial engines;
+        configurations that cannot shard (see :meth:`shard_blockers`)
+        fall back to a serial run silently, so the env var is safe to
+        set globally.
         """
-        self._run_loop(max_cycles, engine=engine)
+        from repro.sim import pdes
+
+        self.shard_report = None
+        n_shards = min(pdes.resolve_shards(shards), len(self.nodes))
+        if n_shards > 1 and not self.shard_blockers() and pdes.workers_available():
+            try:
+                self.shard_report = pdes.run_sharded(self, max_cycles, n_shards)
+            except pdes.ShardFallback as exc:
+                import warnings
+
+                warnings.warn(
+                    f"sharded run fell back to serial: {exc}", RuntimeWarning
+                )
+        if self.shard_report is None:
+            self._run_loop(max_cycles, engine=engine)
         st = self.stats
         st.cycles = self._cycle
         st.local_requests = sum(
             n.mac.request_router.stats.local for n in self.nodes
         )
+        st.fabric_messages = self.fabric.messages_sent
+        st.fabric_credit_stalls = self.fabric.credit_stalls
         # Degraded-mode report: traffic was steered off dead links inside
         # each device; surface how much aggregate bandwidth that cost.
         st.failed_links = sum(len(n.device.failed_links) for n in self.nodes)
@@ -269,5 +375,11 @@ class NUMASystem(ClockedModel):
         )
         st.reissued_packets = sum(
             n.mac.response_router.reissues for n in self.nodes
+        )
+        st.response_timeouts = sum(
+            n.mac.response_router.timeouts for n in self.nodes
+        )
+        st.duplicate_responses = sum(
+            n.mac.response_router.duplicates_suppressed for n in self.nodes
         )
         return st

@@ -26,9 +26,13 @@ __all__ = [
     "build_report",
     "report_from_metrics",
     "load_report",
+    "load_json",
+    "is_flat_metrics",
     "diff_reports",
+    "diff_metrics",
     "format_report",
     "format_diff",
+    "format_metrics_diff",
 ]
 
 #: Stage-histogram fields carried through reports and diffs.
@@ -133,14 +137,66 @@ def report_from_metrics(metrics: Dict[str, Any]) -> Dict[str, Any]:
     }
 
 
-def load_report(path: Union[str, Path]) -> Dict[str, Any]:
-    """Load a report from a ``--report-out`` or ``--metrics-out`` file."""
+def load_json(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report or metrics JSON object without reshaping it."""
     data = json.loads(Path(path).read_text())
     if not isinstance(data, dict):
         raise ValueError(f"{path}: expected a JSON object")
-    if "stages" in data and "end_to_end" in data:
+    return data
+
+
+def is_flat_metrics(data: Dict[str, Any]) -> bool:
+    """A flat ``--metrics-out`` dict, as opposed to a bottleneck report."""
+    return not ("stages" in data and "end_to_end" in data)
+
+
+def load_report(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a report from a ``--report-out`` or ``--metrics-out`` file."""
+    data = load_json(path)
+    if not is_flat_metrics(data):
         return data
     return report_from_metrics(data)
+
+
+def diff_metrics(a: Dict[str, Any], b: Dict[str, Any]) -> Dict[str, Any]:
+    """Key-by-key A→B comparison of two flat metrics dicts.
+
+    The determinism check behind the sharded-NUMA smoke: two
+    ``--metrics-out`` files from bit-identical runs (e.g. ``--shards 4``
+    vs serial) must produce ``identical: True`` — every key present in
+    both files with exactly equal values.
+    """
+    changed = {
+        k: [a[k], b[k]] for k in sorted(set(a) & set(b)) if a[k] != b[k]
+    }
+    only_a = sorted(set(a) - set(b))
+    only_b = sorted(set(b) - set(a))
+    return {
+        "identical": not changed and not only_a and not only_b,
+        "keys": len(set(a) | set(b)),
+        "changed": changed,
+        "only_in_a": only_a,
+        "only_in_b": only_b,
+    }
+
+
+def format_metrics_diff(diff: Dict[str, Any]) -> str:
+    lines: List[str] = []
+    if diff["identical"]:
+        lines.append(f"metrics identical: {diff['keys']} keys match exactly")
+        return "\n".join(lines)
+    lines.append(
+        f"metrics differ: {len(diff['changed'])} changed, "
+        f"{len(diff['only_in_a'])} only in A, "
+        f"{len(diff['only_in_b'])} only in B (of {diff['keys']} keys)"
+    )
+    for key, (va, vb) in list(diff["changed"].items())[:50]:
+        lines.append(f"  {key}: {va} -> {vb}")
+    for key in diff["only_in_a"][:10]:
+        lines.append(f"  only in A: {key}")
+    for key in diff["only_in_b"][:10]:
+        lines.append(f"  only in B: {key}")
+    return "\n".join(lines)
 
 
 # -- diff -------------------------------------------------------------------

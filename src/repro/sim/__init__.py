@@ -23,6 +23,15 @@ from .kernel import (
     register_wake_protocol,
     wake_protocol_offenders,
 )
+from .pdes import (
+    SHARDS_ENV_VAR,
+    ShardCrash,
+    ShardError,
+    ShardFallback,
+    ShardReport,
+    resolve_shards,
+    run_sharded,
+)
 from .watchdog import (
     CHECK_ENV_VAR,
     NULL_WATCHDOG,
@@ -47,6 +56,13 @@ __all__ = [
     "DEFAULT_ENGINE",
     "engine_names",
     "get_engine",
+    "SHARDS_ENV_VAR",
+    "ShardCrash",
+    "ShardError",
+    "ShardFallback",
+    "ShardReport",
+    "resolve_shards",
+    "run_sharded",
     "Watchdog",
     "NULL_WATCHDOG",
     "SimulationHang",

@@ -1,0 +1,362 @@
+"""Conservative parallel discrete-event simulation of the NUMA mesh.
+
+The mesh decomposes cleanly: within one cycle a node's evolution depends
+only on its own components plus fabric deliveries into it, and every
+fabric hop takes ``Interconnect.latency_cycles`` (L) wire cycles.  L is
+therefore a *lookahead*: a hop sent at cycle c in the window
+``[W, W+L)`` delivers at ``c+L >= W+L`` — never inside the window — so
+once a shard holds every hop delivering before ``W+L``, it can advance
+to ``W+L`` without hearing from anyone.  That is the whole scheme:
+
+1. nodes are partitioned round-robin over forked worker processes;
+2. the parent announces a window ``[start, start+L)`` and forwards each
+   shard the previously exported hops delivering inside it;
+3. each shard advances through the window on its own quiescence-skipping
+   loop (the SkipEngine wheel: probe, skip to the wake, tick);
+4. shards return hops addressed to other shards plus their next wake,
+   and the parent picks the next window start — the earliest wake or
+   pending delivery, so idle stretches are skipped globally too.
+
+Determinism: hops carry ``(deliver_cycle, src, seq, dst)`` keys with
+per-source sequence numbers (see :mod:`repro.node.interconnect`), so
+per-destination delivery order is a pure function of message identity —
+the barrier exchange cannot reorder anything observably.  Shard runs
+are bit-identical to the serial engines; the equivalence suite in
+``tests/sim/test_shard_equivalence.py`` enforces it.
+
+Worker management follows :mod:`repro.eval.parallel` /
+:mod:`repro.eval.supervisor`: fork start method (request streams are
+plain objects in the child, nothing is pickled on the way in), pipe
+EOF as the dead-worker signal, and crash recovery by rerunning — the
+parent's system object is never mutated until a run succeeds, so a
+SIGKILL-ed shard costs one restart, not a wrong answer.
+
+Attribution and event tracing pin a system to one process (stall spans
+watermark per shared site, so cross-shard merges would not be exact);
+``NUMASystem.run`` falls back to serial for those — see
+``NUMASystem.shard_blockers``.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import pickle
+import traceback
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import multiprocessing as mp
+
+#: Default shard count for ``NUMASystem.run`` (0 = one per CPU).
+SHARDS_ENV_VAR = "REPRO_SIM_SHARDS"
+#: Test hook: ``"<shard>:<window>"`` SIGKILLs that worker at that window
+#: barrier on the first attempt, exercising crash recovery.
+CHAOS_ENV_VAR = "REPRO_PDES_CHAOS"
+
+
+class ShardCrash(RuntimeError):
+    """A shard worker died mid-run (pipe EOF); the run is restartable."""
+
+
+class ShardError(RuntimeError):
+    """A shard worker raised; carries the worker traceback."""
+
+
+class ShardFallback(RuntimeError):
+    """Sharding is unavailable for this system; run serial instead."""
+
+
+@dataclass
+class ShardReport:
+    """Summary of a completed sharded run (``NUMASystem.shard_report``)."""
+
+    shards: int
+    windows: int
+    restarts: int
+    cycles: int
+
+
+def resolve_shards(spec: Optional[int] = None) -> int:
+    """Shard count from an explicit request or ``$REPRO_SIM_SHARDS``.
+
+    ``None`` falls back to the environment; 0 means one shard per CPU;
+    unset/empty means 1 (serial).
+    """
+    if spec is None:
+        raw = os.environ.get(SHARDS_ENV_VAR, "").strip()
+        if not raw:
+            return 1
+        spec = int(raw)
+    if spec < 0:
+        raise ValueError("shard count must be >= 0")
+    if spec == 0:
+        return os.cpu_count() or 1
+    return spec
+
+
+def workers_available() -> bool:
+    """Sharding needs the same fork-based workers as the eval pool."""
+    from repro.eval.parallel import pool_available
+
+    return pool_available()
+
+
+def shard_node_ids(n_nodes: int, n_shards: int) -> List[List[int]]:
+    """Round-robin node partition: node i lives on shard ``i % n_shards``."""
+    return [list(range(s, n_nodes, n_shards)) for s in range(n_shards)]
+
+
+def _parse_chaos(raw: Optional[str]) -> Optional[Tuple[int, int]]:
+    if not raw:
+        return None
+    shard, _, window = raw.partition(":")
+    return int(shard), int(window or 0)
+
+
+# -- worker side -------------------------------------------------------------
+
+
+def _advance(system, start: int, end: int, max_cycles: int) -> int:
+    """Drive one shard through ``[start, end)``; return its last tick end.
+
+    The in-window loop is the SkipEngine discipline — probe the wake,
+    skip proven-quiescent spans, tick — except that a wake at or beyond
+    the window end stops the shard *without* skipping to ``end``: the
+    next window's ``skip_to(start)`` covers the idle span, and never
+    overshooting keeps every node's accounting clamped to cycles the
+    serial run also reached.
+    """
+    if system.cycle < start:
+        system.skip_to(start)
+    last = -1
+    while system.cycle < end:
+        wake = system.next_event_cycle(system.cycle)
+        if wake is None or wake >= end:
+            break
+        if wake > system.cycle:
+            system.skip_to(wake)
+        system.tick()
+        last = system.cycle
+        if last > max_cycles:
+            raise RuntimeError(type(system)._overrun_msg)
+    return last
+
+
+def _collect(system, final_cycle: int) -> dict:
+    """Finish the shard at the global end cycle and package its state.
+
+    ``skip_to`` settles every local node's deferred accounting at the
+    same cycle the serial run ends on; nodes are then stripped of
+    process-bound state (stream generators, the home-function closure)
+    and shipped back whole, so post-run introspection — metrics, bench
+    probes into devices and ARQs — sees exactly what serial runs show.
+    """
+    system.skip_to(final_cycle)
+    nodes = []
+    for idx in system._local_ids:
+        node = system.nodes[idx]
+        node.detach_streams()
+        node.mac.request_router.home_fn = None
+        nodes.append((idx, node))
+    fabric = system.fabric
+    return {
+        "stats": system.stats,
+        "fabric": (fabric.messages_sent, fabric.credit_stalls, fabric.exported),
+        "nodes": nodes,
+    }
+
+
+def _shard_worker(conn, system, local_ids, max_cycles, chaos_window) -> None:
+    window = 0
+    try:
+        system.restrict_to_shard(local_ids)
+        while True:
+            msg = conn.recv()
+            cmd = msg[0]
+            if cmd == "advance":
+                _, start, end, imports = msg
+                if chaos_window is not None and window == chaos_window:
+                    os._exit(17)  # chaos hook: die exactly at a barrier
+                window += 1
+                system.fabric.inject(imports)
+                last = _advance(system, start, end, max_cycles)
+                exports = system.fabric.drain_exports()
+                conn.send(
+                    (
+                        "window",
+                        exports,
+                        system.done(),
+                        system.next_event_cycle(end),
+                        last,
+                    )
+                )
+            elif cmd == "collect":
+                blob = _collect(system, msg[1])
+                try:
+                    conn.send(("result", blob))
+                except (pickle.PicklingError, TypeError, AttributeError) as exc:
+                    conn.send(("fallback", f"shard state not picklable: {exc}"))
+            else:  # "exit"
+                return
+    except EOFError:
+        return  # parent went away; nothing to report to
+    except BaseException as exc:  # noqa: BLE001 - forwarded to the parent
+        try:
+            conn.send(
+                ("error", type(exc).__name__, str(exc), traceback.format_exc())
+            )
+        except Exception:
+            pass
+    finally:
+        conn.close()
+
+
+# -- parent side -------------------------------------------------------------
+
+
+def _raise_worker_error(reply) -> None:
+    _, name, msg, tb = reply
+    if name == "RuntimeError":
+        # Preserve serial semantics for contract errors (max_cycles
+        # overruns and friends) so callers can match on them.
+        raise RuntimeError(msg)
+    raise ShardError(f"shard worker raised {name}: {msg}\n{tb}")
+
+
+def _run_windows(
+    system, shards: int, max_cycles: int, chaos, restarts: int
+) -> ShardReport:
+    ctx = mp.get_context("fork")
+    partition = shard_node_ids(len(system.nodes), shards)
+    shard_of = {
+        nid: s for s, ids in enumerate(partition) for nid in ids
+    }
+    workers = []
+    try:
+        for s in range(shards):
+            parent_conn, child_conn = ctx.Pipe()
+            proc = ctx.Process(
+                target=_shard_worker,
+                args=(
+                    child_conn,
+                    system,
+                    partition[s],
+                    max_cycles,
+                    chaos[1] if chaos and chaos[0] == s else None,
+                ),
+                daemon=True,
+            )
+            proc.start()
+            child_conn.close()
+            workers.append((proc, parent_conn))
+
+        lookahead = system.fabric.latency_cycles
+        #: Per-shard heaps of exported hops awaiting their window.
+        pending: List[list] = [[] for _ in range(shards)]
+        start = 0
+        windows = 0
+        final = 0
+        while True:
+            end = start + lookahead
+            for s, (_proc, conn) in enumerate(workers):
+                imports = []
+                heap = pending[s]
+                while heap and heap[0][0] < end:
+                    imports.append(heapq.heappop(heap))
+                conn.send(("advance", start, end, imports))
+            windows += 1
+            done_all = True
+            wakes: List[int] = []
+            for _proc, conn in workers:
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as exc:
+                    raise ShardCrash(f"shard worker died mid-window: {exc}")
+                if reply[0] == "error":
+                    _raise_worker_error(reply)
+                _, exports, done, wake, last = reply
+                for hop in exports:
+                    heapq.heappush(pending[shard_of[hop[3]]], hop)
+                if last >= 0:
+                    final = max(final, last)
+                if not done:
+                    done_all = False
+                if wake is not None:
+                    wakes.append(wake)
+            have_pending = any(pending)
+            if done_all and not have_pending:
+                break
+            candidates = wakes + [heap[0][0] for heap in pending if heap]
+            if not candidates:
+                raise RuntimeError(
+                    "sharded simulation deadlocked: mesh not drained but "
+                    "no shard reports a wake and no hops are in flight"
+                )
+            start = max(end, min(candidates))
+            if start > max_cycles:
+                raise RuntimeError(type(system)._overrun_msg)
+
+        results = []
+        for _proc, conn in workers:
+            conn.send(("collect", final))
+            try:
+                reply = conn.recv()
+            except (EOFError, OSError) as exc:
+                raise ShardCrash(f"shard worker died at collect: {exc}")
+            if reply[0] == "error":
+                _raise_worker_error(reply)
+            if reply[0] == "fallback":
+                raise ShardFallback(reply[1])
+            results.append(reply[1])
+            conn.send(("exit",))
+
+        # All shards reported: only now is the parent system mutated, so
+        # any failure above leaves it pristine for a restart or a serial
+        # fallback run.
+        for blob in results:
+            system.stats.merge(blob["stats"])
+            messages, credit_stalls, exported = blob["fabric"]
+            system.fabric.messages_sent += messages
+            system.fabric.credit_stalls += credit_stalls
+            system.fabric.exported += exported
+            for idx, node in blob["nodes"]:
+                node.mac.request_router.home_fn = system.home
+                system.nodes[idx] = node
+        system._cycle = final
+        return ShardReport(
+            shards=shards, windows=windows, restarts=restarts, cycles=final
+        )
+    finally:
+        for proc, conn in workers:
+            conn.close()
+            if proc.is_alive():
+                proc.terminate()
+            proc.join()
+
+
+def run_sharded(system, max_cycles: int, shards: int, max_restarts: int = 2):
+    """Run ``system`` under conservative PDES with ``shards`` workers.
+
+    Returns a :class:`ShardReport`; the system object ends bit-identical
+    to a serial ``run`` (cycle count, node state, stats counters).  A
+    crashed worker triggers a full deterministic rerun (the parent is
+    only mutated on success), up to ``max_restarts`` times.
+    """
+    if shards < 2:
+        raise ValueError("sharded runs need at least two shards")
+    chaos = _parse_chaos(os.environ.get(CHAOS_ENV_VAR))
+    restarts = 0
+    while True:
+        try:
+            return _run_windows(
+                system,
+                shards,
+                max_cycles,
+                chaos if restarts == 0 else None,
+                restarts,
+            )
+        except ShardCrash:
+            restarts += 1
+            if restarts > max_restarts:
+                raise

@@ -110,3 +110,65 @@ class TestNUMASystem:
     def test_empty_system_rejected(self):
         with pytest.raises(ValueError):
             NUMASystem([])
+
+
+class TestRemoteResponseAccounting:
+    """Satellite regressions for the suppress-and-count contract."""
+
+    def test_bogus_duplicate_completion_dropped_exactly_once(self):
+        """A completion no core is waiting for must not double-complete.
+
+        Simulates the message-loss-recovery race: the reissued response
+        already went home, then the original limps in late.
+        """
+        from repro.core.request import Target
+
+        sys2 = NUMASystem(
+            [
+                [stream(0, n=40, node=0)],
+                [stream(0, n=40, node=1)],
+            ],
+            interconnect_latency=10,
+            interleave_bytes=1 << 9,
+        )
+        bogus_raw = MemoryRequest(
+            addr=0, rtype=RequestType.LOAD, tid=0, tag=999, core=0, node=0
+        )
+        sys2.fabric.send(
+            0, dst=0, payload=(Target(tid=0, tag=999, flit_id=0), bogus_raw), src=1
+        )
+        st = sys2.run()
+        assert st.duplicate_remote_drops == 1
+        # The duplicate neither completed a core nor counted as a response.
+        assert st.responses == st.remote_requests
+        for node in sys2.nodes:
+            assert all(c.done for c in node.cores)
+
+    def test_fault_injection_surfaces_recovery_counters(self):
+        """Timeouts/duplicates under drop faults roll up into SystemStats."""
+        from repro.faults import FaultConfig
+        from repro.hmc.config import HMCConfig
+
+        sys2 = NUMASystem(
+            [
+                [stream(0, n=80, node=0)],
+                [stream(0, n=80, node=1)],
+            ],
+            interconnect_latency=10,
+            interleave_bytes=1 << 9,
+            hmc_config=HMCConfig(
+                faults=FaultConfig.simple(
+                    drop_rate=2e-2, seed=11, timeout_cycles=500
+                )
+            ),
+        )
+        st = sys2.run()
+        assert st.response_timeouts > 0
+        assert st.response_timeouts == sum(
+            n.mac.response_router.timeouts for n in sys2.nodes
+        )
+        assert st.duplicate_responses == sum(
+            n.mac.response_router.duplicates_suppressed for n in sys2.nodes
+        )
+        for node in sys2.nodes:
+            assert all(c.done for c in node.cores)

@@ -53,6 +53,54 @@ def test_default_is_tagged_not_overridden():
     assert getattr(Node.next_event_cycle, "_default_wake", False) is False
 
 
+class TestFabricWakeConformance:
+    """The credit fabric's wake contract at skip boundaries (PR 8).
+
+    ``skip_to(target)`` uses half-open semantics: a hop landing exactly
+    on the skip target must be *delivered* by the post-skip tick, never
+    swallowed — the PDES windows lean on this to hand a shard exactly
+    the hops with ``deliver_cycle`` inside its window.
+    """
+
+    def test_interconnect_is_not_an_offender(self):
+        from repro.node.interconnect import Interconnect
+
+        assert wake_protocol_offenders(Interconnect) == []
+
+    def test_numa_skip_lands_on_hop_and_delivers_it(self):
+        """System-level: a skip straight to a hop's deliver cycle works."""
+        from repro.core.request import MemoryRequest, RequestType
+        from repro.node.system import NUMASystem
+
+        def remote_only(node):
+            # One request whose home is the *other* node: forces a hop
+            # out and a completion hop back, with idle spans between.
+            yield MemoryRequest(
+                addr=(1 - node) << 9,
+                rtype=RequestType.LOAD,
+                tid=0,
+                tag=0,
+                core=0,
+                node=node,
+            )
+
+        lock = NUMASystem(
+            [[remote_only(0)], [remote_only(1)]],
+            interconnect_latency=300,
+            interleave_bytes=1 << 9,
+        )
+        st_lock = lock.run(engine="lockstep")
+        skip = NUMASystem(
+            [[remote_only(0)], [remote_only(1)]],
+            interconnect_latency=300,
+            interleave_bytes=1 << 9,
+        )
+        st_skip = skip.run(engine="skip")
+        assert st_skip.responses == st_lock.responses == 2
+        assert skip.cycle == lock.cycle
+        assert st_skip.snapshot() == st_lock.snapshot()
+
+
 class _Forgetful(ClockedModel):
     """A model that registers but forgets to override the default."""
 
