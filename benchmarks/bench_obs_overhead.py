@@ -15,6 +15,12 @@ check):
   denominator: cores, router, MAC and device all burn cycles, so the
   ratio reflects the instrument's share of a real analysis run rather
   than of a stripped-down replay inner loop.
+* **Closed loop** again with a live :class:`Timeline` — the
+  ``repro run --timeline-out`` path, reported as
+  ``timeline_overhead_ratio`` and budgeted at <= 10% over the disabled
+  run (ISSUE 9 acceptance criterion, asserted here).  The timeline is
+  engine-pumped counter-delta sampling, so its cost is one boundary
+  check per tick plus one probe sweep per epoch.
 
 Variants are interleaved round-robin and the best round of each is
 kept, so machine-load drift hits all variants equally.  The result
@@ -39,7 +45,7 @@ from repro.eval.runner import (
     dispatch,
     replay_on_device,
 )
-from repro.obs import NULL_TRACER, EventTracer
+from repro.obs import NULL_TIMELINE, NULL_TRACER, EventTracer, Timeline
 from repro.obs.attribution import NULL_ATTRIBUTION, AttributionCollector
 
 from conftest import attach, run_figure
@@ -52,6 +58,8 @@ OPS_PER_THREAD = 2000
 ROUNDS = 5
 #: Acceptance budget: attribution-on node wall time vs the disabled run.
 ATTRIBUTION_BUDGET = 1.15
+#: Acceptance budget: timeline-on node wall time vs the disabled run.
+TIMELINE_BUDGET = 1.10
 
 
 def _open_loop(tracer=NULL_TRACER):
@@ -63,9 +71,10 @@ def _open_loop(tracer=NULL_TRACER):
     return disp, replay
 
 
-def _closed_loop(attrib):
+def _closed_loop(attrib, timeline=NULL_TIMELINE):
     return attributed_node_run(
-        WORKLOAD, threads=THREADS, ops_per_thread=OPS_PER_THREAD, attrib=attrib
+        WORKLOAD, threads=THREADS, ops_per_thread=OPS_PER_THREAD, attrib=attrib,
+        timeline=timeline,
     )
 
 
@@ -81,7 +90,7 @@ def test_obs_overhead(benchmark):
         # minima would compare an off-spike-free round against an
         # on-spiked one and report phantom overhead.
         rounds = []
-        off = traced = node_off = node_attr = None
+        off = traced = node_off = node_attr = node_tl = timeline = None
         for _ in range(ROUNDS):
             t0 = time.perf_counter()
             off = _open_loop()
@@ -95,10 +104,17 @@ def test_obs_overhead(benchmark):
             t0 = time.perf_counter()
             node_attr = _closed_loop(attrib)
             t_node_attr = time.perf_counter() - t0
-            rounds.append((t_off, t_trace, t_node_off, t_node_attr))
-        return rounds, off, traced, node_off, node_attr, tracer, attrib
+            # Fresh Timeline per round: bind() is keyed on id(model) and
+            # each round builds a new node, so a recycled object id must
+            # never be mistaken for an already-bound model.
+            timeline = Timeline()
+            t0 = time.perf_counter()
+            node_tl = _closed_loop(NULL_ATTRIBUTION, timeline=timeline)
+            t_node_tl = time.perf_counter() - t0
+            rounds.append((t_off, t_trace, t_node_off, t_node_attr, t_node_tl))
+        return rounds, off, traced, node_off, node_attr, node_tl, tracer, attrib, timeline
 
-    rounds, off, traced, node_off, node_attr, tracer, attrib = run_figure(
+    rounds, off, traced, node_off, node_attr, node_tl, tracer, attrib, timeline = run_figure(
         benchmark, measure, "observability overhead (tracer/attribution off vs on)"
     )
     t_off = min(r[0] for r in rounds)
@@ -111,35 +127,50 @@ def test_obs_overhead(benchmark):
     assert trace_disp.stats.snapshot() == off_disp.stats.snapshot()
     assert len(tracer) > 0
 
+    t_node_tl = min(r[4] for r in rounds)
+
     (_, plain_node) = node_off
     (_, attr_node) = node_attr
+    (_, tl_node) = node_tl
     assert attr_node.cycle == plain_node.cycle
     assert attr_node.mac.stats.snapshot() == plain_node.mac.stats.snapshot()
     assert attr_node.device.stats.snapshot() == plain_node.device.stats.snapshot()
     assert attrib.finalized > 0
+    assert tl_node.cycle == plain_node.cycle
+    assert tl_node.mac.stats.snapshot() == plain_node.mac.stats.snapshot()
+    assert sum(len(s["epochs"]) for s in timeline.export()["series"].values()) > 0
 
     trace_ratio = min(r[1] / r[0] for r in rounds if r[0] > 0)
     attr_ratio = min(r[3] / r[2] for r in rounds if r[2] > 0)
+    timeline_ratio = min(r[4] / r[2] for r in rounds if r[2] > 0)
     attach(
         benchmark,
         tracer_off_s=t_off,
         tracer_on_s=t_trace,
         node_off_s=t_node_off,
         node_attribution_s=t_node_attr,
+        node_timeline_s=t_node_tl,
         overhead_ratio=trace_ratio,
         attribution_overhead_ratio=attr_ratio,
+        timeline_overhead_ratio=timeline_ratio,
         events_recorded=len(tracer),
         events_dropped=tracer.dropped,
         requests_attributed=attrib.finalized,
+        timeline_series=len(timeline.export()["series"]),
     )
     print(
         f"\nobs overhead: open-loop off {t_off * 1e3:.1f} ms, tracer "
         f"{t_trace * 1e3:.1f} ms (best paired x{trace_ratio:.3f}); node off "
         f"{t_node_off * 1e3:.1f} ms, attribution {t_node_attr * 1e3:.1f} ms "
-        f"(best paired x{attr_ratio:.3f}), {len(tracer)} events, "
+        f"(best paired x{attr_ratio:.3f}), timeline {t_node_tl * 1e3:.1f} ms "
+        f"(best paired x{timeline_ratio:.3f}), {len(tracer)} events, "
         f"{attrib.finalized} requests attributed"
     )
     assert attr_ratio <= ATTRIBUTION_BUDGET, (
         f"attribution overhead x{attr_ratio:.3f} blew the "
         f"x{ATTRIBUTION_BUDGET} budget"
+    )
+    assert timeline_ratio <= TIMELINE_BUDGET, (
+        f"timeline overhead x{timeline_ratio:.3f} blew the "
+        f"x{TIMELINE_BUDGET} budget"
     )

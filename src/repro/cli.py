@@ -9,13 +9,18 @@ Commands:
 * ``run``      — run one benchmark through the cycle engine + device
   replay with observability: ``--trace-out`` writes a cycle-stamped
   event trace (Chrome/Perfetto JSON, or JSONL for ``.jsonl`` paths),
-  ``--metrics-out`` the flat namespaced metrics dict, and
+  ``--metrics-out`` the flat namespaced metrics dict,
   ``--attribution`` adds per-stage latency + stall-cause accounting to
-  the metrics;
+  the metrics, ``--timeline-out`` a cycle-windowed time-series document
+  (shard-aware under ``REPRO_SIM_SHARDS``), and ``--profile`` the
+  simulator's own ``sim.*`` self-profile (tick/skip ratios,
+  vector-kernel hits, PDES window utilization);
 * ``analyze``  — bottleneck report: run a benchmark closed-loop with
   attribution (or load a ``--metrics`` / ``--report-out`` artifact) and
   print the per-stage latency table + top stall sites; ``--diff A B``
-  compares two saved reports;
+  compares two saved reports; ``--timeline FILE`` segments a timeline
+  into warm-up/steady/drain phases and names each epoch's critical
+  stage (``--timeline --diff A B`` ranks the most regressed epochs);
 * ``figures``  — regenerate the paper's figures (fast or full scale);
 * ``info``     — print the Table 1 configuration and area report.
 """
@@ -240,11 +245,13 @@ def _cmd_run_numa(args) -> int:
     """`repro run --nodes N`: closed-loop NUMA mesh, optionally sharded."""
     from repro.eval.runner import numa_closed_loop
 
-    if args.trace_out or getattr(args, "attribution", False):
+    if getattr(args, "attribution", False):
         print(
-            "note: --trace-out/--attribution pin the run to one process "
-            "and are not supported with --nodes; ignoring them"
+            "note: --attribution pins the run to one process and is not "
+            "supported with --nodes; ignoring it (--timeline-out is the "
+            "shard-aware, time-resolved alternative)"
         )
+    tracer, timeline, profiler = _obs_from_args(args)
     system = numa_closed_loop(
         args.benchmark,
         nodes=args.nodes,
@@ -256,6 +263,9 @@ def _cmd_run_numa(args) -> int:
         config=_mac_config(args),
         shards=args.shards,
         engine=args.engine,
+        tracer=tracer,
+        timeline=timeline,
+        profiler=profiler,
     )
     st = system.stats
     report = system.shard_report
@@ -282,22 +292,100 @@ def _cmd_run_numa(args) -> int:
             title=f"{args.benchmark} on a {args.nodes}-node mesh",
         )
     )
-    if args.metrics_out:
-        _write_metrics_out(system.metrics(), args.metrics_out)
+    _finish_obs(
+        args,
+        tracer,
+        timeline,
+        profiler,
+        system.metrics(),
+        meta={
+            "benchmark": args.benchmark,
+            "threads": args.threads,
+            "ops_per_thread": args.ops,
+            "mode": "numa-closed-loop",
+            "nodes": args.nodes,
+            "backend": backend,
+        },
+    )
     return 0
+
+
+def _obs_from_args(args):
+    """(tracer, timeline, profiler) per the run command's obs flags."""
+    from repro.obs import (
+        NULL_PROFILER,
+        NULL_TIMELINE,
+        NULL_TRACER,
+        EventTracer,
+        SimProfiler,
+        Timeline,
+    )
+
+    tracer = (
+        EventTracer(capacity=args.trace_capacity) if args.trace_out else NULL_TRACER
+    )
+    timeline = (
+        Timeline(epoch=args.timeline_epoch) if args.timeline_out else NULL_TIMELINE
+    )
+    profiler = SimProfiler() if args.profile else NULL_PROFILER
+    return tracer, timeline, profiler
+
+
+def _write_trace_out(tracer, profiler, path) -> None:
+    """Write the Chrome/JSONL trace, merging the profiler's host lane."""
+    import json
+
+    from repro.ioutil import atomic_write_text
+
+    if str(path).endswith(".jsonl"):
+        n = tracer.write_jsonl(path)
+    elif profiler.enabled:
+        doc = tracer.to_chrome_trace()
+        doc["traceEvents"].extend(profiler.chrome_events())
+        atomic_write_text(path, json.dumps(doc))
+        n = len(doc["traceEvents"])
+    else:
+        n = tracer.write_chrome_trace(path)
+    dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
+    print(f"wrote {n} trace events to {path}{dropped}")
+
+
+def _finish_obs(args, tracer, timeline, profiler, metrics, meta) -> None:
+    """Shared artifact writing for the open-loop and NUMA run paths."""
+    if args.trace_out:
+        _write_trace_out(tracer, profiler, args.trace_out)
+    if args.timeline_out:
+        n = timeline.write_json(args.timeline_out, meta=meta)
+        print(
+            f"wrote {n} timeline series to {args.timeline_out} "
+            f"(epoch {timeline.epoch} cy; see `repro analyze --timeline`)"
+        )
+    if profiler.enabled:
+        prof_metrics = profiler.metrics()
+        # sim.* lands in --metrics-out only under --profile, so
+        # wall-clock noise never pollutes determinism diffs.
+        metrics.update(prof_metrics)
+        print(
+            format_table(
+                ["metric", "value"],
+                [[k, v if isinstance(v, (int, str)) else round(v, 4)]
+                 for k, v in sorted(prof_metrics.items())],
+                title="simulator self-profile (sim.*)",
+            )
+        )
+    if args.metrics_out:
+        _write_metrics_out(metrics, args.metrics_out)
 
 
 def cmd_run(args) -> int:
     from repro.eval.runner import dispatch, replay_on_device
-    from repro.obs import NULL_ATTRIBUTION, NULL_TRACER, EventTracer
+    from repro.obs import NULL_ATTRIBUTION
     from repro.obs.attribution import AttributionCollector
     from repro.obs.metrics import flatten
 
     if args.nodes > 1:
         return _cmd_run_numa(args)
-    tracer = (
-        EventTracer(capacity=args.trace_capacity) if args.trace_out else NULL_TRACER
-    )
+    tracer, timeline, profiler = _obs_from_args(args)
     attrib = (
         AttributionCollector()
         if getattr(args, "attribution", False)
@@ -314,6 +402,8 @@ def cmd_run(args) -> int:
         tracer=tracer,
         attrib=attrib,
         engine=args.engine,
+        timeline=timeline,
+        profiler=profiler,
     )
     replay = replay_on_device(
         disp.packets,
@@ -341,15 +431,19 @@ def cmd_run(args) -> int:
             title=f"{args.benchmark} via cycle engine (ARQ={args.arq})",
         )
     )
-    if args.trace_out:
-        if str(args.trace_out).endswith(".jsonl"):
-            n = tracer.write_jsonl(args.trace_out)
-        else:
-            n = tracer.write_chrome_trace(args.trace_out)
-        dropped = f" ({tracer.dropped} dropped)" if tracer.dropped else ""
-        print(f"wrote {n} trace events to {args.trace_out}{dropped}")
-    if args.metrics_out:
-        _write_metrics_out(metrics, args.metrics_out)
+    _finish_obs(
+        args,
+        tracer,
+        timeline,
+        profiler,
+        metrics,
+        meta={
+            "benchmark": args.benchmark,
+            "threads": args.threads,
+            "ops_per_thread": args.ops,
+            "mode": "open-loop",
+        },
+    )
     return 0
 
 
@@ -368,6 +462,9 @@ def cmd_analyze(args) -> int:
         load_report,
         report_from_metrics,
     )
+
+    if args.timeline is not None:
+        return _cmd_analyze_timeline(args)
 
     if args.diff:
         raw_a, raw_b = (load_json(p) for p in args.diff)
@@ -441,6 +538,53 @@ def cmd_analyze(args) -> int:
         print(json.dumps(report, indent=2, sort_keys=True, default=str))
     else:
         print(format_report(report, title))
+    return 0
+
+
+def _cmd_analyze_timeline(args) -> int:
+    """`repro analyze --timeline`: phase/critical-stage report or epoch diff."""
+    import json
+
+    from repro.obs.analyze import (
+        diff_timelines,
+        format_timeline_diff,
+        format_timeline_report,
+        load_timeline,
+        timeline_report,
+    )
+
+    if args.diff:
+        a, b = (load_timeline(p) for p in args.diff)
+        try:
+            diff = diff_timelines(a, b)
+        except ValueError as exc:
+            print(f"analyze --timeline --diff: {exc}", file=sys.stderr)
+            return 2
+        if args.json:
+            print(json.dumps(diff, indent=2, sort_keys=True, default=str))
+        else:
+            print(format_timeline_diff(diff))
+        return 0
+    if not args.timeline:
+        print(
+            "analyze --timeline needs a FILE (or --diff A B with two "
+            "timeline files)",
+            file=sys.stderr,
+        )
+        return 2
+    doc = load_timeline(args.timeline)
+    report = timeline_report(doc)
+    if args.report_out:
+        from repro.ioutil import atomic_write_text
+
+        atomic_write_text(
+            args.report_out, json.dumps(report, indent=2, sort_keys=True, default=str)
+        )
+        print(f"wrote report to {args.report_out}")
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True, default=str))
+    else:
+        print(format_timeline_report(report, title=f"timeline ({args.timeline})"))
     return 0
 
 
@@ -692,7 +836,29 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="collect per-stage latency + stall causes; the breakdown "
         "lands under attribution.* in --metrics-out (readable by "
-        "`repro analyze --metrics`)",
+        "`repro analyze --metrics`); pins --nodes runs to one process — "
+        "use --timeline-out for a shard-aware view",
+    )
+    obs.add_argument(
+        "--timeline-out",
+        default=None,
+        help="write a cycle-windowed time-series JSON (bandwidth, queue "
+        "depths, stall rates per epoch; read with `repro analyze "
+        "--timeline`); shard-aware under REPRO_SIM_SHARDS",
+    )
+    obs.add_argument(
+        "--timeline-epoch",
+        type=int,
+        default=1024,
+        help="timeline epoch length in cycles (default 1024)",
+    )
+    obs.add_argument(
+        "--profile",
+        action="store_true",
+        help="self-profile the simulator: tick/skip ratios, vector-kernel "
+        "hits, PDES window utilization; printed as a table, merged into "
+        "--metrics-out under sim.*, and added as a process lane to a "
+        "Chrome --trace-out",
     )
     p.set_defaults(func=cmd_run)
 
@@ -728,7 +894,19 @@ def build_parser() -> argparse.ArgumentParser:
         nargs=2,
         metavar=("A", "B"),
         default=None,
-        help="compare two saved reports/metrics files (A = before)",
+        help="compare two saved reports/metrics files (A = before); with "
+        "--timeline, A and B are timeline files and the diff reports the "
+        "top regressed epochs",
+    )
+    p.add_argument(
+        "--timeline",
+        nargs="?",
+        const="",
+        default=None,
+        metavar="FILE",
+        help="report on a `repro run --timeline-out` file: phase "
+        "segmentation (warm-up/steady/drain) + per-epoch critical stage; "
+        "bare --timeline with --diff A B compares two timeline files",
     )
     p.add_argument("--json", action="store_true", help="emit JSON, not tables")
     p.add_argument(

@@ -19,6 +19,7 @@ from typing import Callable, Iterable, List, Optional
 
 from ..obs.attribution import NULL_ATTRIBUTION, StallCause
 from ..obs.metrics import MetricsRegistry
+from ..obs.timeline import NULL_TIMELINE
 from ..obs.tracer import NULL_TRACER
 from ..sim import ClockedModel, register_wake_protocol
 from .address import AddressCodec
@@ -62,12 +63,14 @@ class MAC(ClockedModel):
         queue_capacity: int = 64,
         tracer=NULL_TRACER,
         attrib=NULL_ATTRIBUTION,
+        timeline=NULL_TIMELINE,
     ) -> None:
         self.config = config or MACConfig()
         self.codec = AddressCodec(self.config)
         self.stats = MACStats()
         self.tracer = tracer
         self.attrib = attrib
+        self.timeline = timeline
         self.request_router = RequestRouter(node_id, home_fn, queue_capacity)
         self.response_router = ResponseRouter(node_id)
         self.aggregator = RawRequestAggregator(
@@ -106,6 +109,30 @@ class MAC(ClockedModel):
             },
         )
         return reg.collect()
+
+    def timeline_probes(self):
+        """Probes for :class:`repro.obs.timeline.Timeline` (DESIGN 13).
+
+        Rates are monotonic counters (per-epoch deltas reconstruct the
+        serial series under shard merge); levels are instantaneous
+        occupancies read at epoch boundaries.
+        """
+        stats = self.stats
+        arq = self.aggregator.arq
+        rr = self.request_router
+        return [
+            ("mac.raw_requests", "rate", lambda: stats.raw_requests),
+            ("mac.packets", "rate", lambda: stats.coalesced_packets),
+            ("mac.payload_bytes", "rate", lambda: stats.payload_bytes),
+            ("arq.merges", "rate", lambda: arq.merges),
+            ("arq.allocations", "rate", lambda: arq.allocations),
+            ("arq.depth", "level", lambda: len(arq)),
+            (
+                "mac.input_depth",
+                "level",
+                lambda: len(rr.local_queue) + len(rr.remote_queue),
+            ),
+        ]
 
     # -- input ------------------------------------------------------------
 
@@ -232,6 +259,15 @@ class MAC(ClockedModel):
         wd = getattr(eng, "watchdog", NULL_WATCHDOG)
         if wd.enabled:
             wd.reset()
+        # Same for the timeline/profiler: binding here makes the engine's
+        # own bind in the drain run() a no-op, so feed-phase epochs and
+        # rate baselines survive into the drain phase.
+        tl = self.timeline
+        prof = self.profiler
+        if tl.enabled:
+            tl.bind(self)
+        if prof.enabled:
+            prof.run_started()
         out: List[CoalescedRequest] = []
         cycles = 0
         it = iter(requests)
@@ -241,6 +277,10 @@ class MAC(ClockedModel):
                 pending = next(it, None)
             else:
                 out.extend(self.tick())
+                if tl.enabled:
+                    tl.pump(self.cycle)
+                if prof.enabled:
+                    prof.note_tick()
                 if wd.enabled:
                     wd.observe(self)
                 cycles += 1

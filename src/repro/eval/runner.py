@@ -26,6 +26,8 @@ from repro.hmc.config import HMCConfig
 from repro.hmc.device import HMCDevice
 from repro.obs.attribution import NULL_ATTRIBUTION, AttributionCollector
 from repro.obs.metrics import flatten
+from repro.obs.profiler import NULL_PROFILER
+from repro.obs.timeline import NULL_TIMELINE
 from repro.obs.tracer import NULL_TRACER
 from repro.seeding import DEFAULT_SEED
 from repro.trace.record import TraceRecord, to_requests
@@ -206,6 +208,8 @@ def dispatch(
     tracer=NULL_TRACER,
     attrib=NULL_ATTRIBUTION,
     engine=None,
+    timeline=NULL_TIMELINE,
+    profiler=NULL_PROFILER,
 ) -> DispatchResult:
     """Run one benchmark trace through a dispatch policy.
 
@@ -213,9 +217,10 @@ def dispatch(
     (direct 16 B dispatch).  ``tracer`` records cycle-stamped ARQ/builder
     events for the cycle engine (the window and raw engines are not
     clocked, so they emit nothing); ``attrib`` likewise collects stage
-    stamps and stall causes from the cycle engine only.  ``engine``
-    selects the simulation engine for the cycle policy (see
-    :mod:`repro.sim`); the other policies are not clocked and ignore it.
+    stamps and stall causes from the cycle engine only; ``timeline`` and
+    ``profiler`` sample/time the cycle engine's run.  ``engine`` selects
+    the simulation engine for the cycle policy (see :mod:`repro.sim`);
+    the other policies are not clocked and ignore it.
     """
     trace = cached_trace(name, threads, ops_per_thread, seed)
     requests = list(to_requests(trace))
@@ -223,7 +228,11 @@ def dispatch(
     if policy == "mac":
         packets = coalesce_trace_fast(requests, config, flit_policy, stats)
     elif policy == "mac-cycle":
-        mac = MAC(config, policy=flit_policy, tracer=tracer, attrib=attrib)
+        mac = MAC(
+            config, policy=flit_policy, tracer=tracer, attrib=attrib,
+            timeline=timeline,
+        )
+        mac.profiler = profiler
         mac.attach_stats(stats)
         packets = mac.process(requests, engine=engine)
     elif policy == "raw":
@@ -325,6 +334,8 @@ def attributed_node_run(
     hmc: Optional[HMCConfig] = None,
     attrib: Optional[AttributionCollector] = None,
     engine=None,
+    timeline=NULL_TIMELINE,
+    profiler=NULL_PROFILER,
 ):
     """Closed-loop node run of one benchmark with attribution enabled.
 
@@ -350,7 +361,9 @@ def attributed_node_run(
         coalescing_enabled=coalescing,
         hmc_config=hmc,
         attrib=at,
+        timeline=timeline,
     )
+    node.profiler = profiler
     node.run(engine=engine)
     return at, node
 
@@ -397,13 +410,18 @@ def numa_closed_loop(
     shards: Optional[int] = None,
     engine=None,
     max_cycles: int = 50_000_000,
+    tracer=NULL_TRACER,
+    timeline=NULL_TIMELINE,
+    profiler=NULL_PROFILER,
 ):
     """Closed-loop NUMA mesh run of one benchmark; returns the system.
 
     The multi-node sibling of :func:`attributed_node_run`: every node is
     a full Fig. 4 node, remote requests coalesce at their home node, and
     ``shards`` (or ``$REPRO_SIM_SHARDS``) selects the conservative-PDES
-    backend — bit-identical to serial by contract.
+    backend — bit-identical to serial by contract.  ``tracer`` and
+    ``timeline`` both shard: workers collect locally and the parent
+    merges deterministically at the final barrier.
     """
     from repro.core.config import SystemConfig
     from repro.node.system import NUMASystem
@@ -414,6 +432,9 @@ def numa_closed_loop(
         interconnect_latency=interconnect_latency,
         interleave_bytes=interleave_bytes,
         hmc_config=hmc,
+        tracer=tracer,
+        timeline=timeline,
     )
+    system.profiler = profiler
     system.run(max_cycles, engine=engine, shards=shards)
     return system

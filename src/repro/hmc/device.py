@@ -336,6 +336,31 @@ class HMCDevice:
             return 0.0
         return len(self.failed_links) / len(self.links)
 
+    def timeline_probes(self):
+        """Probes for :class:`repro.obs.timeline.Timeline` (DESIGN 13).
+
+        All rates: the device is event-timed (no instantaneous queue to
+        read at a boundary), so the time-resolved signals are the deltas
+        of its monotonic counters — wire traffic, bank conflicts, vault
+        queue wait, and link retry pressure.
+        """
+        stats = self.stats
+        return [
+            ("device.requests", "rate", lambda: stats.requests),
+            ("device.wire_flits", "rate", lambda: stats.wire_flits),
+            ("device.bank_conflicts", "rate", lambda: self.bank_conflicts),
+            (
+                "vaults.queue_wait_cycles",
+                "rate",
+                lambda: sum(v.stats.queue_wait_cycles for v in self.vaults),
+            ),
+            (
+                "links.retries",
+                "rate",
+                lambda: sum(l.retry_events["retries"] for l in self.links),
+            ),
+        ]
+
     def metrics(self) -> dict:
         """Flat namespaced metrics over the device's stats sources."""
         reg = MetricsRegistry()

@@ -23,6 +23,7 @@ from repro.hmc.device import HMCDevice
 from repro.obs.attribution import NULL_ATTRIBUTION
 from repro.obs.metrics import flatten
 from repro.obs.protocol import StatsMixin
+from repro.obs.timeline import NULL_TIMELINE
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import ClockedModel, register_wake_protocol
 
@@ -87,11 +88,13 @@ class Node(ClockedModel):
         lsq_capacity: Optional[int] = None,
         tracer=NULL_TRACER,
         attrib=NULL_ATTRIBUTION,
+        timeline=NULL_TIMELINE,
     ) -> None:
         self.system = system or SystemConfig()
         self.node_id = node_id
         self.tracer = tracer
         self.attrib = attrib
+        self.timeline = timeline
         #: With coalescing disabled the MAC degenerates to a 1-entry ARQ
         #: with no latency hiding: every request ships as a 16 B packet
         #: (the paper's "without MAC" baseline).
@@ -205,6 +208,36 @@ class Node(ClockedModel):
                     core_totals[key] = core_totals.get(key, 0) + value
         out.update(flatten(core_totals, "cores."))
         return out
+
+    def timeline_probes(self):
+        """Node-level probes plus the MAC's and the device's (DESIGN 13).
+
+        Levels read occupancies whose every mutation happens on this
+        node, so under sharding they land on exactly one shard; rates
+        are monotonic counters whose per-epoch deltas merge by summing.
+        """
+        stats = self.stats
+        probes = [
+            ("node.requests_issued", "rate", lambda: stats.requests_issued),
+            (
+                "node.responses_delivered",
+                "rate",
+                lambda: stats.responses_delivered,
+            ),
+            ("node.inflight", "level", lambda: len(self._in_flight)),
+            (
+                "node.lsq_depth",
+                "level",
+                lambda: sum(
+                    len(c.lsq)
+                    for c in self.cores
+                    if getattr(c, "lsq", None) is not None
+                ),
+            ),
+        ]
+        probes.extend(self.mac.timeline_probes())
+        probes.extend(self.device.timeline_probes())
+        return probes
 
     def tick(self) -> None:
         cycle = self._cycle

@@ -28,6 +28,7 @@ from repro.obs.attribution import NULL_ATTRIBUTION, StallCause
 from repro.obs.protocol import StatsMixin
 
 from repro.obs.metrics import flatten
+from repro.obs.timeline import NULL_TIMELINE
 from repro.obs.tracer import NULL_TRACER
 from repro.sim import ClockedModel, register_wake_protocol
 
@@ -92,12 +93,14 @@ class NUMASystem(ClockedModel):
         tracer=NULL_TRACER,
         attrib=NULL_ATTRIBUTION,
         channel_capacity: int = 64,
+        timeline=NULL_TIMELINE,
     ) -> None:
         n = len(streams_per_node)
         if n < 1:
             raise ValueError("need at least one node")
         self.tracer = tracer
         self.attrib = attrib
+        self.timeline = timeline
         self.home = interleaved_home(n, interleave_bytes)
         self.nodes: List[Node] = []
         for nid, streams in enumerate(streams_per_node):
@@ -303,12 +306,47 @@ class NUMASystem(ClockedModel):
             out.update(flatten(node.metrics(), f"node{node.node_id}."))
         return out
 
+    def timeline_probes(self):
+        """System-wide rate probes plus every *local* node's (DESIGN 13).
+
+        System-level probes are rate-only: under PDES each shard's
+        restricted system holds disjoint partitions of these counters
+        (remote sends count at the source shard, deliveries and
+        backpressure at the destination shard), so summing per-epoch
+        deltas at the merge reconstructs the serial series exactly.
+        Node probes — including the level probes — are prefixed with the
+        node id and registered only for ``self._local_ids``, so each one
+        lives on exactly one shard.
+        """
+        stats = self.stats
+        fabric = self.fabric
+        probes = [
+            ("system.remote_requests", "rate", lambda: stats.remote_requests),
+            ("system.responses", "rate", lambda: stats.responses),
+            (
+                "system.backpressure_stalls",
+                "rate",
+                lambda: stats.remote_backpressure_stalls,
+            ),
+            ("fabric.messages", "rate", lambda: fabric.messages_sent),
+            ("fabric.credit_stalls", "rate", lambda: fabric.credit_stalls),
+        ]
+        for idx in self._local_ids:
+            prefix = f"node{idx}."
+            for name, kind, fn in self.nodes[idx].timeline_probes():
+                probes.append((prefix + name, kind, fn))
+        return probes
+
     def shard_blockers(self) -> List[str]:
         """Why this system cannot shard (empty list = it can).
 
-        Attribution and tracing pin the run to one process: stall spans
-        watermark per shared site, so cross-shard merging would not be
-        exact — and the bit-identity contract admits no "almost".
+        Attribution pins the run to one process: stall spans watermark
+        per shared site, so cross-shard merging would not be exact — and
+        the bit-identity contract admits no "almost" (the shard-aware
+        timeline, ``repro run --timeline-out``, is the time-resolved
+        alternative that does shard).  Event tracing no longer blocks:
+        shards collect events locally and the PDES parent merges them
+        deterministically at collect time.
         """
         out: List[str] = []
         if len(self.nodes) < 2:
@@ -317,8 +355,6 @@ class NUMASystem(ClockedModel):
             out.append("zero-latency fabric leaves no lookahead window")
         if getattr(self.attrib, "enabled", False):
             out.append("attribution enabled")
-        if getattr(self.tracer, "enabled", False):
-            out.append("event tracing enabled")
         if self.fabric.in_flight:
             # Hand-seeded pre-run traffic (tests, replay harnesses) is
             # not re-partitioned: forking would clone it into every

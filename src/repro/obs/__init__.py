@@ -16,7 +16,13 @@ on (DESIGN.md section 9):
   latency breakdown (stage stamps whose deltas sum exactly to
   end-to-end latency), the :class:`StallCause` taxonomy of
   ``stall_cycles{site,cause}`` counters, and strided queue-depth
-  sampling; consumed by ``repro analyze`` bottleneck reports.
+  sampling; consumed by ``repro analyze`` bottleneck reports;
+* :class:`Timeline` / :data:`NULL_TIMELINE` — cycle-windowed time
+  series (per-epoch rates and levels) pumped by the engines, shard-
+  aware under PDES, consumed by ``repro analyze --timeline``;
+* :class:`SimProfiler` / :data:`NULL_PROFILER` — wall-clock
+  self-profiling of the simulator (tick/skip ratios, vector-kernel
+  hits, PDES window utilization), the ``sim.*`` metrics namespace.
 """
 
 from .attribution import (
@@ -35,8 +41,16 @@ from .metrics import (
     MetricsRegistry,
     flatten,
 )
+from .profiler import NULL_PROFILER, NullProfiler, SimProfiler
 from .protocol import StatsMixin, StatsProtocol, merge_all
-from .tracer import NULL_TRACER, EventTracer, NullTracer
+from .timeline import NULL_TIMELINE, NullTimeline, Timeline
+from .tracer import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    canonical_key,
+    merge_shard_traces,
+)
 
 __all__ = [
     "AttributionCollector",
@@ -57,4 +71,12 @@ __all__ = [
     "EventTracer",
     "NullTracer",
     "NULL_TRACER",
+    "canonical_key",
+    "merge_shard_traces",
+    "Timeline",
+    "NullTimeline",
+    "NULL_TIMELINE",
+    "SimProfiler",
+    "NullProfiler",
+    "NULL_PROFILER",
 ]

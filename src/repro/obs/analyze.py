@@ -33,6 +33,11 @@ __all__ = [
     "format_report",
     "format_diff",
     "format_metrics_diff",
+    "load_timeline",
+    "timeline_report",
+    "diff_timelines",
+    "format_timeline_report",
+    "format_timeline_diff",
 ]
 
 #: Stage-histogram fields carried through reports and diffs.
@@ -394,4 +399,295 @@ def format_diff(diff: Dict[str, Any]) -> str:
         lines.append(
             f"critical stage: {crit.get('a')} -> {crit.get('b')}"
         )
+    return "\n".join(lines)
+
+
+# -- timeline reports (repro analyze --timeline) ----------------------------
+
+#: Throughput series candidates, most specific first; the first suffix
+#: with any matching series becomes the activity signal (series are
+#: ``node<id>.``-prefixed in mesh timelines, so match on suffix).
+_ACTIVITY_SUFFIXES = ("mac.packets", "node.responses_delivered", "mac.raw_requests")
+
+#: Stall families scanned for the per-epoch critical stage, with the
+#: human label the table reports.  Values are normalized per family
+#: (units differ: cycles vs counts) before the per-epoch argmax.
+_STALL_FAMILIES = (
+    ("device.bank_conflicts", "bank-conflicts"),
+    ("vaults.queue_wait_cycles", "vault-queue"),
+    ("fabric.credit_stalls", "fabric-credits"),
+    ("system.backpressure_stalls", "backpressure"),
+    ("links.retries", "link-retries"),
+    ("arq.depth", "arq-pressure"),
+)
+
+#: Activity below this fraction of the steady-state median marks an
+#: epoch as warm-up (leading) or drain (trailing).
+_PHASE_THRESHOLD = 0.5
+
+
+def load_timeline(path: Union[str, Path]) -> Dict[str, Any]:
+    """Load a ``--timeline-out`` document, restoring int epoch keys."""
+    doc = load_json(path)
+    if "series" not in doc or "epoch" not in doc:
+        raise ValueError(f"{path}: not a timeline document (no series/epoch)")
+    for payload in doc["series"].values():
+        payload["epochs"] = {
+            int(k): v for k, v in payload.get("epochs", {}).items()
+        }
+    return doc
+
+
+def _sum_suffix(doc: Dict[str, Any], suffix: str) -> Dict[int, float]:
+    """Per-epoch sum over every series named ``suffix`` or ``*.<suffix>``."""
+    out: Dict[int, float] = {}
+    for name, payload in doc["series"].items():
+        if name != suffix and not name.endswith("." + suffix):
+            continue
+        for epoch, value in payload["epochs"].items():
+            out[epoch] = out.get(epoch, 0.0) + value
+    return out
+
+
+def _activity(doc: Dict[str, Any]) -> Tuple[str, Dict[int, float]]:
+    for suffix in _ACTIVITY_SUFFIXES:
+        series = _sum_suffix(doc, suffix)
+        if series:
+            return suffix, series
+    return "", {}
+
+
+def timeline_report(doc: Dict[str, Any]) -> Dict[str, Any]:
+    """Phase segmentation + per-epoch critical stage of one timeline.
+
+    Phases: *warm-up* is the leading span whose activity (the first
+    matching throughput series) stays below half the steady median,
+    *drain* the trailing such span, *steady* everything between.  The
+    critical-stage table groups consecutive epochs by which stall
+    family dominates them (per-family max-normalized, so cycles and
+    counts compare).
+    """
+    epoch_len = doc["epoch"]
+    cycles = doc.get("cycles", 0)
+    signal, activity = _activity(doc)
+    last_epoch = max(
+        [cycles // epoch_len if cycles else 0]
+        + [e for p in doc["series"].values() for e in p["epochs"]]
+        + [0]
+    )
+    phases: List[Dict[str, Any]] = []
+    if activity:
+        values = sorted(activity.values())
+        median = values[len(values) // 2]
+        threshold = _PHASE_THRESHOLD * median
+        busy = sorted(e for e, v in activity.items() if v >= threshold)
+        steady_lo, steady_hi = busy[0], busy[-1]
+        total = sum(activity.values())
+        spans = [
+            ("warm-up", 0, steady_lo - 1),
+            ("steady", steady_lo, steady_hi),
+            ("drain", steady_hi + 1, last_epoch),
+        ]
+        for label, lo, hi in spans:
+            if hi < lo:
+                continue
+            span_total = sum(
+                v for e, v in activity.items() if lo <= e <= hi
+            )
+            phases.append(
+                {
+                    "phase": label,
+                    "epochs": [lo, hi],
+                    "cycles": [lo * epoch_len, (hi + 1) * epoch_len],
+                    "activity": span_total,
+                    "activity_share": span_total / total if total else 0.0,
+                    "per_epoch": span_total / (hi - lo + 1),
+                }
+            )
+    # Per-epoch critical stage: max-normalized stall families.
+    families = {
+        label: _sum_suffix(doc, suffix)
+        for suffix, label in _STALL_FAMILIES
+    }
+    peaks = {
+        label: max(series.values(), default=0.0)
+        for label, series in families.items()
+    }
+    critical: Dict[int, Tuple[str, float]] = {}
+    for label, series in families.items():
+        peak = peaks[label]
+        if not peak:
+            continue
+        for epoch, value in series.items():
+            norm = value / peak
+            cur = critical.get(epoch)
+            if cur is None or norm > cur[1]:
+                critical[epoch] = (label, norm)
+    stage_rows: List[Dict[str, Any]] = []
+    for epoch in sorted(critical):
+        label, _ = critical[epoch]
+        if stage_rows and stage_rows[-1]["stage"] == label and (
+            stage_rows[-1]["epochs"][1] == epoch - 1
+        ):
+            stage_rows[-1]["epochs"][1] = epoch
+            stage_rows[-1]["raw"] += families[label].get(epoch, 0.0)
+        else:
+            stage_rows.append(
+                {
+                    "stage": label,
+                    "epochs": [epoch, epoch],
+                    "raw": families[label].get(epoch, 0.0),
+                }
+            )
+    dropped = {
+        name: payload.get("dropped", 0)
+        for name, payload in doc["series"].items()
+        if payload.get("dropped", 0)
+    }
+    return {
+        "epoch": epoch_len,
+        "cycles": cycles,
+        "series": len(doc["series"]),
+        "meta": doc.get("meta", {}),
+        "activity_signal": signal,
+        "phases": phases,
+        "critical_stages": stage_rows,
+        "dropped": dropped,
+    }
+
+
+def diff_timelines(
+    a: Dict[str, Any], b: Dict[str, Any], top: int = 10
+) -> Dict[str, Any]:
+    """A→B timeline comparison; ranks the most regressed epochs.
+
+    Regression is throughput lost: epochs sorted by ``activity(A) -
+    activity(B)`` descending, annotated with the stall-family deltas
+    that explain them.  Requires matching epoch widths.
+    """
+    if a["epoch"] != b["epoch"]:
+        raise ValueError(
+            f"timeline epochs differ ({a['epoch']} vs {b['epoch']}); "
+            "re-run with matching --timeline-epoch"
+        )
+    signal_a, act_a = _activity(a)
+    signal_b, act_b = _activity(b)
+    stall_a = {lbl: _sum_suffix(a, sfx) for sfx, lbl in _STALL_FAMILIES}
+    stall_b = {lbl: _sum_suffix(b, sfx) for sfx, lbl in _STALL_FAMILIES}
+    epochs = sorted(set(act_a) | set(act_b))
+    rows = []
+    for epoch in epochs:
+        va, vb = act_a.get(epoch, 0.0), act_b.get(epoch, 0.0)
+        stalls = {}
+        for label in stall_a:
+            d = stall_b[label].get(epoch, 0.0) - stall_a[label].get(epoch, 0.0)
+            if d:
+                stalls[label] = d
+        rows.append(
+            {"epoch": epoch, "a": va, "b": vb, "delta": vb - va,
+             "stall_deltas": stalls}
+        )
+    rows.sort(key=lambda r: (r["delta"], r["epoch"]))
+    return {
+        "epoch": a["epoch"],
+        "signal": {"a": signal_a, "b": signal_b},
+        "activity_total": {
+            "a": sum(act_a.values()),
+            "b": sum(act_b.values()),
+        },
+        "top_regressed": rows[:top],
+    }
+
+
+def format_timeline_report(report: Dict[str, Any], title: str = "timeline") -> str:
+    """Render a :func:`timeline_report` as the CLI's text tables."""
+    from repro.eval.report import format_table
+
+    lines: List[str] = []
+    meta = report.get("meta", {})
+    head = (
+        f"{title}: {report['series']} series, epoch {report['epoch']} cy, "
+        f"{report['cycles']} cycles"
+    )
+    if meta:
+        head += " (" + ", ".join(f"{k}={v}" for k, v in meta.items()) + ")"
+    lines.append(head)
+    if report.get("activity_signal"):
+        lines.append(f"activity signal: {report['activity_signal']}")
+    rows = [
+        [
+            p["phase"],
+            f"{p['epochs'][0]}..{p['epochs'][1]}",
+            f"{p['cycles'][0]}..{p['cycles'][1]}",
+            _fmt(p["activity"]),
+            f"{p['activity_share'] * 100:.1f}%",
+            _fmt(p["per_epoch"]),
+        ]
+        for p in report.get("phases", [])
+    ]
+    if rows:
+        lines.append(
+            format_table(
+                ["phase", "epochs", "cycles", "activity", "share", "per-epoch"],
+                rows,
+                title="phase segmentation",
+            )
+        )
+    else:
+        lines.append("no activity series found; phases unavailable")
+    crit = report.get("critical_stages", [])
+    if crit:
+        lines.append(
+            format_table(
+                ["epochs", "critical stage", "raw"],
+                [
+                    [f"{r['epochs'][0]}..{r['epochs'][1]}", r["stage"],
+                     _fmt(r["raw"])]
+                    for r in crit[:20]
+                ],
+                title="per-epoch critical stage",
+            )
+        )
+    else:
+        lines.append("no stall-family series recorded")
+    dropped = report.get("dropped", {})
+    if dropped:
+        total = sum(dropped.values())
+        lines.append(
+            f"WARNING: {total} epochs evicted across {len(dropped)} series "
+            "(raise the timeline capacity to keep them)"
+        )
+    return "\n".join(lines)
+
+
+def format_timeline_diff(diff: Dict[str, Any]) -> str:
+    """Render a :func:`diff_timelines` as the CLI's text tables."""
+    from repro.eval.report import format_table
+
+    lines: List[str] = []
+    tot = diff["activity_total"]
+    lines.append(
+        f"timeline A/B ({diff['signal']['a'] or 'n/a'}): total activity "
+        f"{_fmt(tot['a'])} -> {_fmt(tot['b'])} ({_pct(_rel(tot['a'], tot['b']))})"
+    )
+    rows = []
+    for r in diff["top_regressed"]:
+        stalls = ", ".join(
+            f"{k} {v:+g}" for k, v in sorted(
+                r["stall_deltas"].items(), key=lambda kv: -abs(kv[1])
+            )[:3]
+        )
+        rows.append(
+            [r["epoch"], _fmt(r["a"]), _fmt(r["b"]), _fmt(r["delta"]), stalls]
+        )
+    if rows:
+        lines.append(
+            format_table(
+                ["epoch", "A", "B", "delta", "stall deltas"],
+                rows,
+                title="top regressed epochs (A -> B)",
+            )
+        )
+    else:
+        lines.append("no overlapping activity epochs to compare")
     return "\n".join(lines)

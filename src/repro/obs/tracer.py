@@ -35,11 +35,19 @@ Standard channels (components may add their own):
 from __future__ import annotations
 
 import json
+import warnings
 from collections import deque
 from pathlib import Path
-from typing import Any, Deque, Dict, List, Optional, Tuple, Union
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, Union
 
-__all__ = ["NullTracer", "EventTracer", "NULL_TRACER", "TraceEvent"]
+__all__ = [
+    "NullTracer",
+    "EventTracer",
+    "NULL_TRACER",
+    "TraceEvent",
+    "canonical_key",
+    "merge_shard_traces",
+]
 
 #: (cycle, channel, name, args-or-None)
 TraceEvent = Tuple[int, str, str, Optional[Dict[str, Any]]]
@@ -70,10 +78,28 @@ class NullTracer:
 NULL_TRACER = NullTracer()
 
 
+def canonical_key(event: TraceEvent):
+    """Total order on trace events, independent of emit interleaving.
+
+    ``(cycle, channel, name, serialized-args)``: within one cycle the
+    serial engines emit in component order, but that order is not
+    meaningful — the canonical key is what the PDES merge sorts by and
+    what the equivalence suite compares on, so serial and sharded runs
+    agree event for event.
+    """
+    cycle, channel, name, args = event
+    return (
+        cycle,
+        channel,
+        name,
+        json.dumps(args, sort_keys=True) if args else "",
+    )
+
+
 class EventTracer:
     """Bounded ring buffer of cycle-stamped events."""
 
-    __slots__ = ("enabled", "capacity", "dropped", "_events")
+    __slots__ = ("enabled", "capacity", "dropped", "shard_counts", "_events")
 
     def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
         if capacity < 1:
@@ -81,6 +107,8 @@ class EventTracer:
         self.enabled = True
         self.capacity = capacity
         self.dropped = 0
+        #: ``{shard: events collected}`` after a PDES merge, else None.
+        self.shard_counts: Optional[Dict[int, int]] = None
         self._events: Deque[TraceEvent] = deque(maxlen=capacity)
 
     # -- recording ---------------------------------------------------------
@@ -90,6 +118,14 @@ class EventTracer:
         if not self.enabled:
             return
         if len(self._events) == self.capacity:
+            if not self.dropped:
+                warnings.warn(
+                    f"trace ring buffer wrapped at {self.capacity} events; "
+                    "oldest events are being dropped (raise --trace-capacity "
+                    "to keep more)",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
             self.dropped += 1
         self._events.append((cycle, channel, name, args or None))
 
@@ -116,6 +152,7 @@ class EventTracer:
     def clear(self) -> None:
         self._events.clear()
         self.dropped = 0
+        self.shard_counts = None
 
     # -- export ------------------------------------------------------------
 
@@ -150,14 +187,19 @@ class EventTracer:
             if args:
                 ev["args"] = args
             events.append(ev)
+        other: Dict[str, Any] = {
+            "source": "repro.obs.tracer",
+            "clock": "simulation cycles (as us)",
+            "dropped_events": self.dropped,
+        }
+        if self.shard_counts is not None:
+            other["shard_events"] = {
+                str(s): n for s, n in sorted(self.shard_counts.items())
+            }
         return {
             "traceEvents": events,
             "displayTimeUnit": "ms",
-            "otherData": {
-                "source": "repro.obs.tracer",
-                "clock": "simulation cycles (as us)",
-                "dropped_events": self.dropped,
-            },
+            "otherData": other,
         }
 
     def write_chrome_trace(self, path: Union[str, Path]) -> int:
@@ -189,3 +231,32 @@ class EventTracer:
             f"EventTracer(events={len(self._events)}/{self.capacity}, "
             f"dropped={self.dropped})"
         )
+
+
+def merge_shard_traces(
+    tracer: EventTracer,
+    shard_traces: Sequence[Tuple[List[TraceEvent], int]],
+) -> None:
+    """Fold per-shard ``(events, dropped)`` pairs into ``tracer``.
+
+    Events sort by :func:`canonical_key` — a pure function of event
+    identity, so the merge is deterministic regardless of worker timing
+    — and the newest ``tracer.capacity`` survive, mirroring the serial
+    ring's keep-newest policy.  Shard drop counts carry over, and the
+    per-shard event counts land in ``tracer.shard_counts`` for the
+    Chrome-trace metadata.
+    """
+    merged = tracer.events()
+    counts: Dict[int, int] = {}
+    for shard, (events, dropped) in enumerate(shard_traces):
+        counts[shard] = len(events)
+        tracer.dropped += dropped
+        merged.extend(events)
+    merged.sort(key=canonical_key)
+    overflow = len(merged) - tracer.capacity
+    if overflow > 0:
+        tracer.dropped += overflow
+        merged = merged[overflow:]
+    tracer._events.clear()
+    tracer._events.extend(merged)
+    tracer.shard_counts = counts

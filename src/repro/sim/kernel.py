@@ -34,6 +34,9 @@ import os
 import warnings
 from typing import Callable, List, Optional, Protocol, runtime_checkable
 
+from repro.obs.profiler import NULL_PROFILER
+from repro.obs.timeline import NULL_TIMELINE
+
 from .watchdog import default_watchdog
 
 #: Environment variable consulted when no engine is given explicitly.
@@ -119,6 +122,16 @@ class ClockedModel:
 
     _cycle: int = 0
 
+    #: Cycle-windowed telemetry sampler, pumped by the engines at epoch
+    #: boundaries (class-level NULL default; models that accept a
+    #: ``timeline=`` kwarg rebind per instance).  Read-only observer:
+    #: enabling it never changes simulation results.
+    timeline = NULL_TIMELINE
+
+    #: Wall-clock self-profiler (tick/skip counts, engine wall time);
+    #: assigned per instance by ``repro run --profile`` style callers.
+    profiler = NULL_PROFILER
+
     @property
     def cycle(self) -> int:
         return self._cycle
@@ -202,14 +215,29 @@ class LockstepEngine:
         wd = self.watchdog
         if wd.enabled:
             wd.reset()
+        tl = getattr(sim, "timeline", NULL_TIMELINE)
+        prof = getattr(sim, "profiler", NULL_PROFILER)
+        observed = tl.enabled or prof.enabled
+        if tl.enabled:
+            tl.bind(sim)
+        if prof.enabled:
+            prof.run_started(self.name)
         while not sim.done():
             out = sim.tick()
             if on_tick is not None and out:
                 on_tick(out)
+            if observed:
+                if tl.enabled:
+                    tl.pump(sim.cycle)
+                prof.note_tick()
             if wd.enabled:
                 wd.observe(sim)
             if sim.cycle - start > max_cycles:
                 raise RuntimeError(sim._overrun_msg)
+        if observed:
+            if tl.enabled:
+                tl.finish(sim.cycle)
+            prof.run_finished(sim.cycle)
         if wd.enabled:
             wd.finish(sim)
         return sim.cycle
@@ -244,6 +272,13 @@ class SkipEngine:
             wd.reset()
             if getattr(wd, "sanitize", False):
                 _warn_default_wake(sim)
+        tl = getattr(sim, "timeline", NULL_TIMELINE)
+        prof = getattr(sim, "profiler", NULL_PROFILER)
+        observed = tl.enabled or prof.enabled
+        if tl.enabled:
+            tl.bind(sim)
+        if prof.enabled:
+            prof.run_started(self.name)
         # The wake probe runs every tick.  The per-component event wheel
         # keeps ``next_event_cycle`` O(1) on the hot models (Node tracks
         # its earliest wake incrementally instead of walking every core),
@@ -254,6 +289,10 @@ class SkipEngine:
             out = sim.tick()
             if on_tick is not None and out:
                 on_tick(out)
+            if observed:
+                if tl.enabled:
+                    tl.pump(sim.cycle)
+                prof.note_tick()
             if wd.enabled:
                 wd.observe(sim)
             if sim.cycle - start > max_cycles:
@@ -262,7 +301,19 @@ class SkipEngine:
             if wake is not None and wake > sim.cycle:
                 # Never skip past the guard: lockstep raises with the
                 # counter at limit + 1, and so must we.
+                before = sim.cycle
                 sim.skip_to(min(wake, limit))
+                if observed:
+                    # A boundary landing exactly on the skip target is
+                    # sampled here, before the next tick — the same
+                    # pre-tick ordering lockstep gives it.
+                    if tl.enabled:
+                        tl.pump(sim.cycle)
+                    prof.note_skip(sim.cycle - before)
+        if observed:
+            if tl.enabled:
+                tl.finish(sim.cycle)
+            prof.run_finished(sim.cycle)
         if wd.enabled:
             wd.finish(sim)
         return sim.cycle

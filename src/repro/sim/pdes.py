@@ -31,9 +31,14 @@ EOF as the dead-worker signal, and crash recovery by rerunning — the
 parent's system object is never mutated until a run succeeds, so a
 SIGKILL-ed shard costs one restart, not a wrong answer.
 
-Attribution and event tracing pin a system to one process (stall spans
-watermark per shared site, so cross-shard merges would not be exact);
-``NUMASystem.run`` falls back to serial for those — see
+Observability shards with the mesh: each worker samples its restricted
+system's timeline probes and buffers its own trace events locally, and
+the parent merges both deterministically at collect time — timelines in
+shard order (per-epoch rate deltas sum; level series live on exactly one
+shard), traces by :func:`repro.obs.tracer.canonical_key`.  Only
+*attribution* still pins a system to one process (stall spans watermark
+per shared site, so cross-shard merges would not be exact);
+``NUMASystem.run`` falls back to serial for it — see
 ``NUMASystem.shard_blockers``.
 """
 
@@ -42,11 +47,15 @@ from __future__ import annotations
 import heapq
 import os
 import pickle
+import time
 import traceback
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 import multiprocessing as mp
+
+from repro.obs.profiler import NULL_PROFILER
+from repro.obs.tracer import merge_shard_traces
 
 #: Default shard count for ``NUMASystem.run`` (0 = one per CPU).
 SHARDS_ENV_VAR = "REPRO_SIM_SHARDS"
@@ -127,8 +136,15 @@ def _advance(system, start: int, end: int, max_cycles: int) -> int:
     overshooting keeps every node's accounting clamped to cycles the
     serial run also reached.
     """
+    tl = system.timeline
+    if tl.enabled:
+        # First window: installs the restricted system's probes (local
+        # nodes only); later windows: idempotent no-op.
+        tl.bind(system)
     if system.cycle < start:
         system.skip_to(start)
+        if tl.enabled:
+            tl.pump(system.cycle)
     last = -1
     while system.cycle < end:
         wake = system.next_event_cycle(system.cycle)
@@ -136,7 +152,11 @@ def _advance(system, start: int, end: int, max_cycles: int) -> int:
             break
         if wake > system.cycle:
             system.skip_to(wake)
+            if tl.enabled:
+                tl.pump(system.cycle)
         system.tick()
+        if tl.enabled:
+            tl.pump(system.cycle)
         last = system.cycle
         if last > max_cycles:
             raise RuntimeError(type(system)._overrun_msg)
@@ -153,6 +173,20 @@ def _collect(system, final_cycle: int) -> dict:
     probes into devices and ARQs — sees exactly what serial runs show.
     """
     system.skip_to(final_cycle)
+    timeline_doc = None
+    tl = system.timeline
+    if tl.enabled:
+        tl.pump(final_cycle)
+        tl.finish(final_cycle)
+        timeline_doc = tl.export()
+    trace = None
+    tracer = system.tracer
+    if getattr(tracer, "enabled", False):
+        # Capture, then empty the worker's ring before the nodes (which
+        # hold references to it) are pickled — the parent merges the
+        # captured events into its own tracer, once.
+        trace = (tracer.events(), tracer.dropped)
+        tracer.clear()
     nodes = []
     for idx in system._local_ids:
         node = system.nodes[idx]
@@ -164,13 +198,21 @@ def _collect(system, final_cycle: int) -> dict:
         "stats": system.stats,
         "fabric": (fabric.messages_sent, fabric.credit_stalls, fabric.exported),
         "nodes": nodes,
+        "timeline": timeline_doc,
+        "trace": trace,
     }
 
 
 def _shard_worker(conn, system, local_ids, max_cycles, chaos_window) -> None:
     window = 0
+    busy_s = 0.0
     try:
         system.restrict_to_shard(local_ids)
+        if getattr(system.tracer, "enabled", False):
+            # The fork copied whatever the parent's ring held; drop it so
+            # the collect-time merge sees only this shard's own events
+            # (the parent keeps the originals).
+            system.tracer.clear()
         while True:
             msg = conn.recv()
             cmd = msg[0]
@@ -179,9 +221,11 @@ def _shard_worker(conn, system, local_ids, max_cycles, chaos_window) -> None:
                 if chaos_window is not None and window == chaos_window:
                     os._exit(17)  # chaos hook: die exactly at a barrier
                 window += 1
+                t0 = time.perf_counter()
                 system.fabric.inject(imports)
                 last = _advance(system, start, end, max_cycles)
                 exports = system.fabric.drain_exports()
+                busy_s += time.perf_counter() - t0
                 conn.send(
                     (
                         "window",
@@ -189,6 +233,7 @@ def _shard_worker(conn, system, local_ids, max_cycles, chaos_window) -> None:
                         system.done(),
                         system.next_event_cycle(end),
                         last,
+                        busy_s,
                     )
                 )
             elif cmd == "collect":
@@ -252,6 +297,9 @@ def _run_windows(
             workers.append((proc, parent_conn))
 
         lookahead = system.fabric.latency_cycles
+        prof = getattr(system, "profiler", NULL_PROFILER)
+        if prof.enabled:
+            prof.run_started(f"pdes[{shards}]")
         #: Per-shard heaps of exported hops awaiting their window.
         pending: List[list] = [[] for _ in range(shards)]
         start = 0
@@ -259,6 +307,7 @@ def _run_windows(
         final = 0
         while True:
             end = start + lookahead
+            window_t0 = time.perf_counter()
             for s, (_proc, conn) in enumerate(workers):
                 imports = []
                 heap = pending[s]
@@ -268,6 +317,7 @@ def _run_windows(
             windows += 1
             done_all = True
             wakes: List[int] = []
+            shard_busy: List[float] = []
             for _proc, conn in workers:
                 try:
                     reply = conn.recv()
@@ -275,7 +325,8 @@ def _run_windows(
                     raise ShardCrash(f"shard worker died mid-window: {exc}")
                 if reply[0] == "error":
                     _raise_worker_error(reply)
-                _, exports, done, wake, last = reply
+                _, exports, done, wake, last, busy_s = reply
+                shard_busy.append(busy_s)
                 for hop in exports:
                     heapq.heappush(pending[shard_of[hop[3]]], hop)
                 if last >= 0:
@@ -284,6 +335,8 @@ def _run_windows(
                     done_all = False
                 if wake is not None:
                     wakes.append(wake)
+            if prof.enabled:
+                prof.note_window(time.perf_counter() - window_t0, shard_busy)
             have_pending = any(pending)
             if done_all and not have_pending:
                 break
@@ -313,17 +366,28 @@ def _run_windows(
 
         # All shards reported: only now is the parent system mutated, so
         # any failure above leaves it pristine for a restart or a serial
-        # fallback run.
+        # fallback run.  Timelines merge in shard order (deterministic:
+        # per-epoch rate deltas sum, level series live on one shard) and
+        # traces by canonical event key.
+        shard_traces = []
         for blob in results:
             system.stats.merge(blob["stats"])
             messages, credit_stalls, exported = blob["fabric"]
             system.fabric.messages_sent += messages
             system.fabric.credit_stalls += credit_stalls
             system.fabric.exported += exported
+            if blob.get("timeline") is not None:
+                system.timeline.merge_export(blob["timeline"])
+            if blob.get("trace") is not None:
+                shard_traces.append(blob["trace"])
             for idx, node in blob["nodes"]:
                 node.mac.request_router.home_fn = system.home
                 system.nodes[idx] = node
+        if shard_traces:
+            merge_shard_traces(system.tracer, shard_traces)
         system._cycle = final
+        if prof.enabled:
+            prof.run_finished(final)
         return ShardReport(
             shards=shards, windows=windows, restarts=restarts, cycles=final
         )

@@ -26,6 +26,35 @@ except ImportError:  # pragma: no cover - toolchain always has numpy
 #: Environment knob: ``REPRO_SIM_VECTOR=0`` disables the numpy kernels.
 VECTOR_ENV_VAR = "REPRO_SIM_VECTOR"
 
+#: Kernel-dispatch counters for the self-profiler (how often each
+#: vectorized path actually fired).  Incremented only while a
+#: :class:`repro.obs.profiler.SimProfiler` has switched profiling on —
+#: the hot kernels stay increment-free on unprofiled runs.
+_PROFILING = False
+_COUNTS: Dict[str, int] = {
+    "group_bits": 0,
+    "oldest_match": 0,
+    "busy_count": 0,
+    "max_ready": 0,
+}
+
+
+def set_profiling(flag: bool) -> None:
+    """Switch kernel hit counting on or off (profiler lifecycle hook)."""
+    global _PROFILING
+    _PROFILING = bool(flag)
+
+
+def kernel_counters() -> Dict[str, int]:
+    """Snapshot of the per-kernel vectorized-dispatch counts."""
+    return dict(_COUNTS)
+
+
+def reset_kernel_counters() -> None:
+    """Zero the dispatch counters (tests and fresh profiling sessions)."""
+    for key in _COUNTS:
+        _COUNTS[key] = 0
+
 
 def have_numpy() -> bool:
     """Whether numpy is importable in this environment."""
@@ -84,6 +113,8 @@ def group_bits(bits: int, nflits: int, groups: int) -> int:
     if table is None:
         table = _build_group_table(nflits, groups)
         _GROUP_TABLES[key] = table
+    if _PROFILING:
+        _COUNTS["group_bits"] += 1
     return int(table[bits])
 
 
@@ -112,6 +143,8 @@ def oldest_match(keys: Sequence[int], key: int) -> Optional[int]:
     non-mergeable slots masked out as ``None``.
     """
     if _np is not None and enabled() and len(keys) >= 8:
+        if _PROFILING:
+            _COUNTS["oldest_match"] += 1
         arr = _np.fromiter(
             (k if k is not None else -(1 << 62) for k in keys),
             dtype=_np.int64,
@@ -133,6 +166,8 @@ def oldest_match(keys: Sequence[int], key: int) -> Optional[int]:
 def busy_count(ready_cycles: Sequence[int], now: int) -> int:
     """How many of the given next-free stamps are still in the future."""
     if _np is not None and enabled() and len(ready_cycles) >= 8:
+        if _PROFILING:
+            _COUNTS["busy_count"] += 1
         return int(
             (_np.fromiter(ready_cycles, dtype=_np.int64, count=len(ready_cycles)) > now).sum()
         )
@@ -142,6 +177,8 @@ def busy_count(ready_cycles: Sequence[int], now: int) -> int:
 def max_ready(ready_cycles: Sequence[int]) -> int:
     """Latest next-free stamp across a strided bank-timing array."""
     if _np is not None and enabled() and len(ready_cycles) >= 8:
+        if _PROFILING:
+            _COUNTS["max_ready"] += 1
         return int(
             _np.fromiter(ready_cycles, dtype=_np.int64, count=len(ready_cycles)).max()
         )
@@ -163,4 +200,7 @@ __all__ = [
     "busy_count",
     "max_ready",
     "clear_tables",
+    "set_profiling",
+    "kernel_counters",
+    "reset_kernel_counters",
 ]

@@ -1,10 +1,17 @@
 """EventTracer ring buffer, export formats, and Chrome-trace schema."""
 
 import json
+import warnings
 
 import pytest
 
-from repro.obs import NULL_TRACER, EventTracer, NullTracer
+from repro.obs import (
+    NULL_TRACER,
+    EventTracer,
+    NullTracer,
+    canonical_key,
+    merge_shard_traces,
+)
 
 pytestmark = pytest.mark.obs
 
@@ -33,11 +40,24 @@ class TestRingBuffer:
 
     def test_bounded_with_drop_counter(self):
         t = EventTracer(capacity=4)
-        for i in range(10):
-            t.emit("c", "e", i)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            for i in range(10):
+                t.emit("c", "e", i)
         assert len(t) == 4
         assert t.dropped == 6
         assert [e[0] for e in t.events()] == [6, 7, 8, 9]
+
+    def test_warns_once_on_ring_wrap(self):
+        t = EventTracer(capacity=2)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for i in range(6):  # wraps on the third emit, then keeps going
+                t.emit("c", "e", i)
+        wraps = [w for w in caught if issubclass(w.category, RuntimeWarning)]
+        assert len(wraps) == 1
+        assert "raise --trace-capacity" in str(wraps[0].message)
+        assert t.dropped == 4
 
     def test_capacity_validated(self):
         with pytest.raises(ValueError):
@@ -55,7 +75,9 @@ class TestRingBuffer:
     def test_clear(self):
         t = EventTracer(capacity=1)
         t.emit("c", "e", 0)
-        t.emit("c", "e", 1)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            t.emit("c", "e", 1)
         t.clear()
         assert len(t) == 0
         assert t.dropped == 0
@@ -111,6 +133,55 @@ class TestChromeTrace:
         n = _traced().write_chrome_trace(out)
         doc = json.loads(out.read_text())
         assert n == len(doc["traceEvents"]) == 5  # 3 events + 2 metadata
+
+
+class TestShardMerge:
+    """merge_shard_traces: the PDES parent's collect-time trace fold."""
+
+    def test_merge_is_canonically_ordered_and_counted(self):
+        parent = EventTracer()
+        parent.emit("arq", "alloc", 5, key=1)
+        shard0 = [(3, "vault", "conflict", None), (5, "arq", "merge", {"key": 1})]
+        shard1 = [(4, "link", "nak", {"seq": 2})]
+        merge_shard_traces(parent, [(shard0, 0), (shard1, 0)])
+        assert parent.events() == sorted(
+            [(5, "arq", "alloc", {"key": 1})] + shard0 + shard1,
+            key=canonical_key,
+        )
+        assert parent.shard_counts == {0: 2, 1: 1}
+        assert parent.dropped == 0
+
+    def test_merge_order_independent_of_shard_arrival(self):
+        a = [(1, "c", "x", None), (9, "c", "y", None)]
+        b = [(2, "d", "x", None), (9, "a", "y", None)]
+        t1, t2 = EventTracer(), EventTracer()
+        merge_shard_traces(t1, [(a, 0), (b, 0)])
+        merge_shard_traces(t2, [(b, 0), (a, 0)])
+        assert t1.events() == t2.events()
+
+    def test_merge_respects_capacity_keep_newest(self):
+        parent = EventTracer(capacity=3)
+        events = [(i, "c", "e", None) for i in range(5)]
+        merge_shard_traces(parent, [(events, 2)])
+        assert [e[0] for e in parent.events()] == [2, 3, 4]
+        assert parent.dropped == 2 + 2  # shard drops + merge overflow
+
+    def test_clear_resets_shard_counts(self):
+        parent = EventTracer()
+        merge_shard_traces(parent, [([(1, "c", "e", None)], 0)])
+        assert parent.shard_counts is not None
+        parent.clear()
+        assert parent.shard_counts is None
+
+    def test_chrome_metadata_carries_shard_events(self):
+        parent = EventTracer()
+        merge_shard_traces(
+            parent, [([(1, "c", "e", None)], 0), ([(2, "c", "f", None)], 0)]
+        )
+        doc = parent.to_chrome_trace()
+        assert doc["otherData"]["shard_events"] == {"0": 1, "1": 1}
+        plain = _traced().to_chrome_trace()
+        assert "shard_events" not in plain["otherData"]
 
 
 class TestJsonl:

@@ -1,0 +1,103 @@
+"""Serial ≡ sharded timeline and trace collection (DESIGN.md section 13).
+
+The PDES workers sample timeline epochs and trace events shard-locally
+and the parent merges them at the window barriers; these tests pin the
+contract that made ``event tracing enabled`` disappear from
+``shard_blockers()``: the merged artifacts are equal to what the serial
+run records — timelines bit-identically, traces up to the canonical
+(cycle, channel, name, args) order the parent sorts by.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import MACConfig, SystemConfig
+from repro.node.system import NUMASystem
+from repro.obs import (
+    NULL_TIMELINE,
+    NULL_TRACER,
+    EventTracer,
+    Timeline,
+    canonical_key,
+)
+from repro.sim.pdes import workers_available
+
+from tests.sim.test_shard_equivalence import make_requests, outcome
+
+pytestmark = pytest.mark.skipif(
+    not workers_available(), reason="fork-based shard workers unavailable"
+)
+
+
+def build(spec, timeline=NULL_TIMELINE, tracer=NULL_TRACER):
+    nodes, cores = spec[0], spec[1]
+    return NUMASystem(
+        [
+            [iter(make_requests(spec, n, c)) for c in range(cores)]
+            for n in range(nodes)
+        ],
+        system=SystemConfig(mac=MACConfig(arq_entries=32)),
+        interconnect_latency=23,
+        interleave_bytes=256,
+        timeline=timeline,
+        tracer=tracer,
+    )
+
+
+def canonical_events(tracer):
+    return sorted(tracer.events(), key=canonical_key)
+
+
+mesh_specs = st.tuples(
+    st.integers(min_value=2, max_value=4),  # nodes
+    st.integers(min_value=1, max_value=2),  # cores per node
+    st.integers(min_value=4, max_value=24),  # requests per core
+    st.integers(min_value=1, max_value=32),  # distinct rows
+    st.integers(min_value=0, max_value=2**16),  # stream seed
+    st.booleans(),  # sprinkle fences
+)
+
+
+class TestTimelineShardEquivalence:
+    @settings(max_examples=8, deadline=None)
+    @given(spec=mesh_specs, shards=st.integers(min_value=2, max_value=3))
+    def test_random_meshes_merge_bit_identically(self, spec, shards):
+        serial = build(spec, timeline=Timeline(epoch=64))
+        serial.run(engine="skip", shards=1)
+        sharded = build(spec, timeline=Timeline(epoch=64))
+        sharded.run(shards=shards)
+        assert sharded.shard_report is not None
+        assert sharded.timeline.export() == serial.timeline.export()
+        assert outcome(sharded) == outcome(serial)
+
+    def test_four_shard_timeline_and_trace_merge(self):
+        spec = (4, 2, 20, 16, 11, True)
+        serial = build(spec, timeline=Timeline(epoch=128), tracer=EventTracer())
+        serial.run(engine="skip", shards=1)
+        sharded = build(spec, timeline=Timeline(epoch=128), tracer=EventTracer())
+        sharded.run(shards=4)
+        assert sharded.shard_report.shards == 4
+        assert sharded.timeline.export() == serial.timeline.export()
+        assert canonical_events(sharded.tracer) == canonical_events(serial.tracer)
+        assert sharded.tracer.dropped == serial.tracer.dropped == 0
+        # The merged ring remembers where events came from.
+        counts = sharded.tracer.shard_counts
+        assert counts is not None and sum(counts.values()) == len(sharded.tracer)
+        assert outcome(sharded) == outcome(serial)
+
+    def test_timeline_never_changes_the_run(self):
+        spec = (3, 2, 18, 12, 5, False)
+        plain = build(spec)
+        plain.run(shards=2)
+        timed = build(spec, timeline=Timeline(epoch=64))
+        timed.run(shards=2)
+        assert outcome(timed) == outcome(plain)
+
+    def test_tracing_no_longer_blocks_sharding(self):
+        spec = (2, 1, 10, 8, 2, False)
+        system = build(spec, tracer=EventTracer())
+        assert "event tracing enabled" not in system.shard_blockers()
+        assert not system.shard_blockers()
+        system.run(shards=2)
+        assert system.shard_report is not None
+        assert len(system.tracer) > 0
