@@ -58,6 +58,73 @@ def _add_mac_args(p: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_device_args(p: argparse.ArgumentParser) -> None:
+    """HMC device knobs: intra-cube NoC topology and bank page policy."""
+    from repro.hmc.bank import PAGE_POLICIES
+    from repro.hmc.noc import NOC_ARBITRATIONS, NOC_TOPOLOGIES
+
+    dev = p.add_argument_group("HMC device (logic-layer NoC, DRAM page policy)")
+    dev.add_argument(
+        "--noc-topology",
+        choices=NOC_TOPOLOGIES,
+        default="ideal",
+        help="intra-cube link<->vault interconnect: ideal is the fixed-"
+        "latency crossbar, xbar adds per-port arbitration and bounded "
+        "buffers, ring/mesh add hop latency (default ideal)",
+    )
+    dev.add_argument(
+        "--noc-buffers",
+        type=int,
+        default=8,
+        help="input-buffer depth per NoC port, in packets; a full buffer "
+        "backpressures into the link (default 8; ignored by ideal)",
+    )
+    dev.add_argument(
+        "--noc-arbitration",
+        choices=NOC_ARBITRATIONS,
+        default="fifo",
+        help="NoC port arbiter (default fifo; ignored by ideal)",
+    )
+    dev.add_argument(
+        "--page-policy",
+        choices=PAGE_POLICIES,
+        default="closed",
+        help="DRAM bank page policy: closed precharges every access "
+        "(HMC spec behaviour), open keeps the row latched, adaptive "
+        "hedges on a per-bank hit-confidence counter (default closed)",
+    )
+
+
+def _hmc_config(args, faults=None):
+    """HMCConfig from device flags, or None when everything is stock.
+
+    ``None`` keeps the callee on its default-config fast path and — more
+    importantly — keeps default CLI runs bit-identical to builds that
+    predate the device flags.
+    """
+    topology = getattr(args, "noc_topology", "ideal")
+    buffers = getattr(args, "noc_buffers", 8)
+    arbitration = getattr(args, "noc_arbitration", "fifo")
+    policy = getattr(args, "page_policy", "closed")
+    stock = (
+        topology == "ideal"
+        and buffers == 8
+        and arbitration == "fifo"
+        and policy == "closed"
+    )
+    if stock and faults is None:
+        return None
+    from repro.hmc.config import HMCConfig
+
+    return HMCConfig(
+        noc_topology=topology,
+        noc_buffers=buffers,
+        noc_arbitration=arbitration,
+        page_policy=policy,
+        faults=faults,
+    )
+
+
 def _add_engine_arg(p: argparse.ArgumentParser) -> None:
     p.add_argument(
         "--engine",
@@ -163,11 +230,9 @@ def cmd_replay(args) -> int:
         ["coalescing efficiency", pct(stats.coalescing_efficiency)],
     ]
     if args.device == "hmc":
-        from repro.hmc.config import HMCConfig
         from repro.hmc.device import HMCDevice
 
-        faults = _fault_config(args)
-        dev = HMCDevice(HMCConfig(faults=faults) if faults else None)
+        dev = HMCDevice(_hmc_config(args, faults=_fault_config(args)))
         t = 0.0
         for p in packets:
             dev.submit(p, int(t))
@@ -266,6 +331,7 @@ def _cmd_run_numa(args) -> int:
         tracer=tracer,
         timeline=timeline,
         profiler=profiler,
+        hmc=_hmc_config(args),
     )
     st = system.stats
     report = system.shard_report
@@ -412,6 +478,7 @@ def cmd_run(args) -> int:
         # Attribution needs the device clock aligned with the MAC clock
         # that stamped the dispatch marks (stages stay non-negative).
         use_issue_cycles=attrib.enabled,
+        hmc=_hmc_config(args),
     )
     metrics = {**disp.metrics(), **replay.metrics()}
     if attrib.enabled:
@@ -749,6 +816,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--device", choices=("hmc", "hbm", "ddr"), default="hmc")
     p.add_argument("--no-mac", action="store_true", help="raw 16 B dispatch")
     _add_mac_args(p)
+    _add_device_args(p)
     fault = p.add_argument_group("fault injection (hmc only)")
     fault.add_argument(
         "--flit-ber", type=float, default=0.0, help="per-FLIT error rate on links"
@@ -784,6 +852,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ops", type=int, default=3000, help="ops per thread")
     p.add_argument("--seed", type=int, default=DEFAULT_SEED)
     _add_mac_args(p)
+    _add_device_args(p)
     _add_engine_arg(p)
     numa = p.add_argument_group("NUMA mesh (closed loop)")
     numa.add_argument(

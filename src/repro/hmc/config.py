@@ -13,6 +13,8 @@ from typing import Optional
 
 from repro.faults.config import FaultConfig
 
+from .bank import PAGE_POLICIES
+from .noc import NOC_ARBITRATIONS, NOC_TOPOLOGIES
 from .timing import HMCTiming
 
 
@@ -33,6 +35,20 @@ class HMCConfig:
     max_request_bytes: int = 256
     #: Control FLITs per packet (header + tail = 1 FLIT = 16 B).
     control_flits_per_packet: int = 1
+    #: Intra-cube interconnect topology (:mod:`repro.hmc.noc`).  The
+    #: default ``ideal`` is bit-identical to the legacy fixed-latency
+    #: crossbar; ``xbar``/``ring``/``mesh`` add port contention,
+    #: bounded buffering and hop latency.
+    noc_topology: str = "ideal"
+    #: Per-output-port input-buffer depth (packets) of the non-ideal
+    #: topologies; a full buffer backpressures into the link.
+    noc_buffers: int = 8
+    #: Port arbitration policy: ``fifo``, ``round_robin`` or
+    #: ``oldest_first`` (see :mod:`repro.hmc.noc`).
+    noc_arbitration: str = "fifo"
+    #: DRAM bank page policy: ``closed`` (the paper's HMC, default),
+    #: ``open`` or ``adaptive`` (see :mod:`repro.hmc.bank`).
+    page_policy: str = "closed"
     timing: HMCTiming = field(default_factory=HMCTiming)
     #: Fault-injection + retry-protocol configuration; ``None`` (default)
     #: disables every fault path and keeps the model cycle-identical to
@@ -42,6 +58,23 @@ class HMCConfig:
     def __post_init__(self) -> None:
         if self.links < 1 or self.vaults < 1 or self.banks_per_vault < 1:
             raise ValueError("links/vaults/banks must be positive")
+        if self.noc_topology not in NOC_TOPOLOGIES:
+            raise ValueError(
+                f"unknown NoC topology {self.noc_topology!r} "
+                f"(choose from {NOC_TOPOLOGIES})"
+            )
+        if self.noc_arbitration not in NOC_ARBITRATIONS:
+            raise ValueError(
+                f"unknown NoC arbitration {self.noc_arbitration!r} "
+                f"(choose from {NOC_ARBITRATIONS})"
+            )
+        if self.noc_buffers < 1:
+            raise ValueError("noc_buffers must be positive")
+        if self.page_policy not in PAGE_POLICIES:
+            raise ValueError(
+                f"unknown page policy {self.page_policy!r} "
+                f"(choose from {PAGE_POLICIES})"
+            )
         if self.faults is not None:
             # The largest packet (max payload + control FLITs) must fit
             # in both link-level buffers or flow control deadlocks.

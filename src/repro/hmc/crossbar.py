@@ -1,8 +1,13 @@
-"""Link-to-vault crossbar of the HMC logic layer.
+"""Legacy link-to-vault crossbar of the HMC logic layer.
 
 Modelled as a fixed-latency switch with per-vault output contention folded
-into the vault front-end (which is single-issue).  The crossbar keeps its
-own traffic counters so NoC-style utilization can be reported.
+into the vault front-end (which is single-issue).  Superseded by the
+configurable NoC subsystem (:mod:`repro.hmc.noc`), whose ``ideal``
+topology reproduces these semantics bit for bit; the class is kept as
+the executable reference for the equivalence property in
+``tests/sim/test_noc_equivalence.py`` (its raw ``forwarded``/``returned``
+ints never participated in the StatsMixin merge contract — the NoC's
+:class:`repro.hmc.noc.NoCStats` does).
 """
 
 from __future__ import annotations

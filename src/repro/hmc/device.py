@@ -40,8 +40,8 @@ from repro.sim import register_wake_protocol
 from repro.sim import vector as _vector
 
 from .config import HMCConfig
-from .crossbar import Crossbar
 from .link import Link, LinkFailedError
+from .noc import build_noc
 from .packet import HMCCommand, WirePacket, encode
 from .stats import HMCStats
 from .vault import Vault
@@ -69,7 +69,7 @@ class HMCDevice:
             Link(i, self.config.timing, tracer=tracer, attrib=attrib)
             for i in range(self.config.links)
         ]
-        self.crossbar = Crossbar(self.config.timing)
+        self.noc = build_noc(self.config, attrib=attrib)
         self.vaults: List[Vault] = [
             Vault(i, self.config, tracer=tracer, attrib=attrib)
             for i in range(self.config.vaults)
@@ -110,11 +110,17 @@ class HMCDevice:
         # mid-transmission is recorded and the packet re-routed across the
         # surviving links from the failure-detection cycle onward.
         link, at_device = self._transmit_request(wire, arrival)
-        at_vault = self.crossbar.to_vault(at_device)
+        at_vault = self.noc.to_vault(
+            at_device, wire.vault, link.index, wire.request_flits
+        )
 
-        # Vault + bank service (closed-page), with transient-error re-reads.
+        # Vault + bank service, with transient-error re-reads.
         vault = self.vaults[wire.vault]
-        conflicts_before = vault.banks[wire.bank].conflicts
+        bank = vault.banks[wire.bank]
+        conflicts_before = bank.conflicts
+        hits_before = bank.row_hits
+        misses_before = bank.row_misses
+        activations_before = bank.activations
         data_ready = vault.access(
             at_vault, wire.bank, wire.dram_row, wire.columns, request.is_write
         )
@@ -132,10 +138,12 @@ class HMCDevice:
                 data_ready = vault.access(
                     data_ready, wire.bank, wire.dram_row, wire.columns, request.is_write
                 )
-        conflicts_delta = vault.banks[wire.bank].conflicts - conflicts_before
+        conflicts_delta = bank.conflicts - conflicts_before
 
-        # Device -> host: response packet back through crossbar + link.
-        at_link = self.crossbar.to_link(data_ready)
+        # Device -> host: response packet back through the NoC + link.
+        at_link = self.noc.to_link(
+            data_ready, wire.vault, link.index, wire.response_flits
+        )
         complete = self._transmit_response(link, wire, at_link)
 
         delay = 0
@@ -150,16 +158,22 @@ class HMCDevice:
                 delay = fate_delay
         complete += delay
 
-        self._record(request, wire, arrival, complete, conflicts_delta)
+        self._record(
+            request, wire, arrival, complete, conflicts_delta,
+            bank.row_hits - hits_before,
+            bank.row_misses - misses_before,
+            bank.activations - activations_before,
+        )
         at = self.attrib
         if at.enabled:
-            # Inlined AttributionCollector.mark: four stamps per raw
+            # Inlined AttributionCollector.mark: five stamps per raw
             # request make this the hottest attribution site.
             dispatched = vault.last_dispatched
             for raw in request.requests:
                 m = raw.marks
                 if m is None:
                     m = raw.marks = {}
+                m["xbar_arrive"] = at_device
                 m["vault_arrive"] = at_vault
                 m["bank_dispatch"] = dispatched
                 m["data_ready"] = data_ready
@@ -268,11 +282,22 @@ class HMCDevice:
         arrival: int,
         complete: int,
         conflicts_delta: int,
+        row_hits_delta: int = 0,
+        row_misses_delta: int = 0,
+        activations_delta: int = 1,
     ) -> None:
         st = self.stats
         st.record(arrival, complete, request.size, conflicts_delta)
         st.wire_flits += wire.total_flits
-        st.activations += 1
+        if self.config.page_policy == "closed":
+            # Legacy accounting: one activation command per packet
+            # (fault re-reads re-activate the bank but are not re-sent
+            # by the host) — kept bit-identical to the pre-NoC model.
+            st.activations += 1
+        else:
+            st.activations += activations_delta
+        st.row_hits += row_hits_delta
+        st.row_misses += row_misses_delta
         if wire.command is HMCCommand.RD:
             st.reads += 1
         elif wire.command is HMCCommand.WR:
@@ -303,6 +328,7 @@ class HMCDevice:
         — the memory-side horizon the busy-phase bench reports.
         """
         horizon = _vector.max_ready([v.busy_until() for v in self.vaults])
+        horizon = max(horizon, self.noc.busy_until())
         return max(horizon, _vector.max_ready([l.busy_until() for l in self.links]))
 
     def busy_vaults(self, now: int) -> int:
@@ -318,6 +344,14 @@ class HMCDevice:
     @property
     def activations(self) -> int:
         return sum(v.activations for v in self.vaults)
+
+    @property
+    def row_hits(self) -> int:
+        return sum(v.row_hits for v in self.vaults)
+
+    @property
+    def row_misses(self) -> int:
+        return sum(v.row_misses for v in self.vaults)
 
     @property
     def live_links(self) -> List[Link]:
@@ -345,6 +379,7 @@ class HMCDevice:
         queue wait, and link retry pressure.
         """
         stats = self.stats
+        noc_stats = self.noc.stats
         return [
             ("device.requests", "rate", lambda: stats.requests),
             ("device.wire_flits", "rate", lambda: stats.wire_flits),
@@ -359,12 +394,23 @@ class HMCDevice:
                 "rate",
                 lambda: sum(l.retry_events["retries"] for l in self.links),
             ),
+            (
+                "noc.contention_cycles",
+                "rate",
+                lambda: noc_stats.contention_cycles + noc_stats.buffer_stall_cycles,
+            ),
+            ("bank.row_hits", "rate", lambda: self.row_hits),
+            ("bank.row_misses", "rate", lambda: self.row_misses),
         ]
 
     def metrics(self) -> dict:
         """Flat namespaced metrics over the device's stats sources."""
         reg = MetricsRegistry()
         reg.register("device", self.stats)
+        # The NoC's StatsMixin dataclass rides the same snapshot/merge
+        # contract as every other source (the legacy crossbar's raw
+        # ints were silently dropped by PDES shard merges).
+        reg.register("noc", self.noc.stats)
 
         def vault_totals() -> dict:
             return {

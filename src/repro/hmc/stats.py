@@ -34,6 +34,10 @@ class HMCStats(StatsMixin):
     wire_flits: int = 0
     bank_conflicts: int = 0
     activations: int = 0
+    #: Row-buffer outcomes under the open/adaptive page policies
+    #: (:mod:`repro.hmc.bank`); both stay zero under closed page.
+    row_hits: int = 0
+    row_misses: int = 0
     total_latency_cycles: int = 0
     #: Completion cycle of the last request (stream makespan anchor).
     last_completion: int = 0

@@ -27,6 +27,7 @@ TIMING_FIELDS = (
     "t_column",
     "t_precharge",
     "cycles_per_column",
+    "noc_hop_cycles",
 )
 
 
@@ -56,6 +57,9 @@ class HMCTiming:
     t_precharge: int = 45
     #: TSV burst cycles per 32 B column.
     cycles_per_column: int = 4
+    #: Per-hop traversal cycles of the ring/mesh NoC topologies
+    #: (:mod:`repro.hmc.noc`); the flat ideal/xbar switches have no hops.
+    noc_hop_cycles: int = 2
 
     def __post_init__(self) -> None:
         for name in TIMING_FIELDS:
@@ -73,6 +77,19 @@ class HMCTiming:
         """Cycles the bank is unavailable per closed-page access."""
         return (
             self.t_activate + self.t_column + self.burst_cycles(columns) + self.t_precharge
+        )
+
+    def open_hit_cycles(self, columns: int) -> int:
+        """Open-page row hit: the open row serves straight from the
+        sense amplifiers — column access + burst, no activation."""
+        return self.t_column + self.burst_cycles(columns)
+
+    def open_miss_cycles(self, columns: int) -> int:
+        """Open-page row miss with another row open: precharge it,
+        activate the new row, then column access + burst."""
+        return (
+            self.t_precharge + self.t_activate + self.t_column
+            + self.burst_cycles(columns)
         )
 
     def unloaded_read_latency(self, request_flits: int, response_flits: int, columns: int) -> int:

@@ -45,7 +45,8 @@ class Vault:
         self.tracer = tracer
         self.attrib = attrib
         self.banks: List[Bank] = [
-            Bank(self.timing) for _ in range(config.banks_per_vault)
+            Bank(self.timing, policy=config.page_policy)
+            for _ in range(config.banks_per_vault)
         ]
         #: Cycle at which the controller front-end frees up.
         self.frontend_ready = 0
@@ -94,6 +95,14 @@ class Vault:
                 "vault_backlog", arrival, max(0, self.frontend_ready - arrival)
             )
         done = bank.access(dispatched, dram_row, columns)
+        if at.enabled and bank.last_kind == "miss":
+            # Open-page row miss: the precharge of the previously open
+            # row is on the requester's critical path — charge it where
+            # it was paid, at the start of the bank's service window.
+            at.stall_span(
+                "bank", StallCause.ROW_MISS,
+                bank.last_start, bank.last_start + self.timing.t_precharge,
+            )
         st.service_cycles += done - arrival
         if self.tracer.enabled:
             self.tracer.emit(
@@ -152,3 +161,11 @@ class Vault:
     @property
     def activations(self) -> int:
         return sum(b.activations for b in self.banks)
+
+    @property
+    def row_hits(self) -> int:
+        return sum(b.row_hits for b in self.banks)
+
+    @property
+    def row_misses(self) -> int:
+        return sum(b.row_misses for b in self.banks)

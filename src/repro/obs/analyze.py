@@ -419,6 +419,8 @@ _STALL_FAMILIES = (
     ("system.backpressure_stalls", "backpressure"),
     ("links.retries", "link-retries"),
     ("arq.depth", "arq-pressure"),
+    ("noc.contention_cycles", "noc-contention"),
+    ("bank.row_misses", "row-misses"),
 )
 
 #: Activity below this fraction of the steady-state median marks an

@@ -5,8 +5,8 @@ module says *where the cycles went*.  Two complementary views:
 
 * **Latency breakdown** — every raw request carries a compact record of
   absolute cycle stamps at the pipeline boundaries it crosses (router
-  submit, ARQ admit, ARQ pop, packet dispatch, vault arrival, bank
-  dispatch, data ready, completion, delivery).  The deltas between
+  submit, ARQ admit, ARQ pop, packet dispatch, NoC ingress, vault
+  arrival, bank dispatch, data ready, completion, delivery).  The deltas between
   consecutive stamps are the per-stage latencies; because they telescope,
   the stage sums equal the end-to-end latency *exactly*, cycle for cycle
   — pinned by ``tests/integration/test_latency_breakdown.py``.  Stages
@@ -60,7 +60,8 @@ MARKS: Tuple[str, ...] = (
     "arq_admit",      # accepted into the ARQ
     "arq_pop",        # entry (with every merged request) left the ARQ
     "dispatch",       # coalesced packet left the MAC towards the device
-    "vault_arrive",   # request link serialization + crossbar done
+    "xbar_arrive",    # request link serialization done, at the NoC ingress
+    "vault_arrive",   # NoC (crossbar/ring/mesh) traversal done
     "bank_dispatch",  # vault front-end queue cleared, bank engaged
     "data_ready",     # DRAM burst data available at the vault
     "complete",       # response crossbar + link serialization done
@@ -72,7 +73,8 @@ STAGE_OF_MARK: Dict[str, str] = {
     "arq_admit": "router_queue",
     "arq_pop": "coalesce_wait",
     "dispatch": "builder",
-    "vault_arrive": "link_request",
+    "xbar_arrive": "link_request",
+    "vault_arrive": "noc_traverse",
     "bank_dispatch": "vault_queue",
     "data_ready": "dram_service",
     "complete": "link_response",
@@ -109,6 +111,12 @@ class StallCause(str, enum.Enum):
     VAULT_QUEUE_FULL = "vault_queue_full"
     #: Target bank still busy with an earlier closed-page access.
     BANK_CONFLICT = "bank_conflict"
+    #: NoC output port busy (arbitration loss) or its input buffer full
+    #: (backpressure into the link) — charged at the arbiter.
+    NOC_CONTENTION = "noc_contention"
+    #: Open-page row miss: the previously open row's precharge sits on
+    #: the requester's critical path — charged at the bank.
+    ROW_MISS = "row_miss"
     #: Remote completion path pushed back: the NUMA fabric had to bounce
     #: a payload because the destination queue was full (NACK retry).
     RESPONSE_BACKPRESSURE = "response_backpressure"

@@ -39,6 +39,8 @@ def test_registry_covers_the_component_tree():
         "RequestBuilder", "RequestRouter", "ResponseRouter",
         # device layer
         "HMCDevice", "Vault", "Bank", "Crossbar", "Link",
+        # intra-cube NoC topologies (PR 10)
+        "IdealNoC", "XbarNoC", "RingNoC", "MeshNoC",
     }
     missing = expected - names
     assert not missing, f"components missing from the wake registry: {missing}"
